@@ -1,0 +1,50 @@
+"""Shared fixtures for the experiment benches.
+
+Every bench regenerates one table/figure/claim of the paper (see
+DESIGN.md, "Experiments to reproduce").  The workload is the full-size
+case study: 20 identities x 3 poses, 64x64 frames — the paper's "database
+of twenty different faces under multiple poses" captured by a
+"low-resolution CMOS camera".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.facerec import (
+    CameraConfig,
+    FaceSampler,
+    FacerecConfig,
+    ReferenceModel,
+    build_graph,
+    enroll_database,
+)
+from repro.platform.profiler import profile_graph
+
+FULL_CONFIG = FacerecConfig(identities=20, poses=3, size=64)
+FRAME_COUNT = 5
+
+
+def paper_row(exp_id: str, quantity: str, paper: str, measured: str) -> None:
+    """Print one paper-vs-measured row (collected into bench_output.txt)."""
+    print(f"[{exp_id}] {quantity}: paper={paper} measured={measured}")
+
+
+@pytest.fixture(scope="session")
+def workload():
+    """(graph, frames, shots, database, profile) for the full case study."""
+    database = enroll_database(FULL_CONFIG.identities, FULL_CONFIG.poses,
+                               FULL_CONFIG.size)
+    graph = build_graph(FULL_CONFIG, database)
+    sampler = FaceSampler(CameraConfig(size=FULL_CONFIG.size, noise_sigma=2.0))
+    shots = [(i % FULL_CONFIG.identities, (i * 7) % FULL_CONFIG.poses)
+             for i in range(FRAME_COUNT)]
+    frames = sampler.frames(shots)
+    profile = profile_graph(graph, {"CAMERA": frames})
+    return graph, frames, shots, database, profile
+
+
+@pytest.fixture(scope="session")
+def reference_model(workload):
+    __, __, __, database, __ = workload
+    return ReferenceModel(database)

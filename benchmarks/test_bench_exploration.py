@@ -1,0 +1,53 @@
+"""A-PARTITION: the level-2 architecture exploration sweep.
+
+Section 3.2: "simulation is used intensively for evaluating the different
+possible architectures. The goal is to get the best compromise between,
+for example, power consumption, bus loading and memory accesses."
+Section 4.1 reports one week for the full exploration; ours is a bench.
+"""
+
+from benchmarks.conftest import paper_row
+from repro.platform import Explorer
+
+
+def test_partition_sweep(benchmark, workload):
+    """Grade all-SW plus heaviest-k-to-HW candidates; print the table."""
+    graph, frames, __, __, profile = workload
+    explorer = Explorer(graph, profile)
+
+    result = benchmark.pedantic(
+        lambda: explorer.explore({"CAMERA": frames}, max_hw=6),
+        rounds=1, iterations=1)
+    print(result.describe())
+    labels = [s.label for s in result.scores]
+    assert "all-sw" in labels
+    by_label = {s.label: s for s in result.scores}
+    speedup = (by_label["all-sw"].metrics.frame_latency_ps
+               / by_label["hw-top6"].metrics.frame_latency_ps)
+    paper_row("A-PARTITION", "candidates graded",
+              "iterations through profile/map/evaluate (one week manual)",
+              f"{len(result.scores)} candidates, best = {result.best.label}")
+    paper_row("A-PARTITION", "HW acceleration of heaviest-6 partition",
+              "HW much faster than SW for heavy tasks",
+              f"{speedup:.1f}x frame-latency speedup vs all-SW")
+    # Moving the heaviest tasks to HW must pay off in latency.
+    assert speedup > 2.0
+    # The exploration objective must not pick the pure-SW design.
+    assert result.best.label != "all-sw"
+
+
+def test_profiling_ranking(benchmark, workload):
+    """The profiling step that seeds partitioning (Section 4.1)."""
+    graph, frames, __, __, __ = workload
+    from repro.platform.profiler import profile_graph
+
+    profile = benchmark.pedantic(
+        lambda: profile_graph(graph, {"CAMERA": frames}),
+        rounds=3, iterations=1)
+    print(profile.describe())
+    heaviest = profile.heaviest(4)
+    paper_row("A-PARTITION", "heaviest computational tasks (profiled)",
+              "ranking by execution profiling of the UT code",
+              ", ".join(heaviest))
+    # The per-pixel front-end must dominate the ranking.
+    assert set(heaviest) & {"EDGE", "BAY", "EROSION", "ELLIPSE"}

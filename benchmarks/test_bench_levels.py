@@ -1,0 +1,139 @@
+"""E-L1-SIM / E-L1-FUNC / E-L2-SPEED / E-L3-SPEED: level simulations.
+
+Paper quantities (Section 4.1, Sun U80 dual processor, Solaris 2.8):
+
+- level 1: "complete simulation of the system TL model took less than
+  15 seconds", functionality fully verified against the reference model;
+- level 2: "simulation speed close to 200 kHz";
+- level 3: "simulation speed ... close to 30 kHz" — i.e. modelling the
+  reconfiguration traffic costs ~6.7x in simulation speed.
+
+Absolute speeds are host-dependent (2004 workstation vs today); the
+reproducible claims are (a) level 1 simulates in seconds, (b) traces
+match across levels, (c) level 3 is several times slower to simulate
+than level 2.
+"""
+
+import pytest
+
+from benchmarks.conftest import paper_row
+from repro.facerec import case_study_partition
+from repro.flow import run_level1, run_level2, run_level3
+from repro.flow.methodology import REFERENCE_CHANNELS
+from repro.platform.cpu import ARM7TDMI
+
+
+@pytest.fixture(scope="module")
+def reference_trace(workload, reference_model):
+    __, frames, __, __, __ = workload
+    from repro.facerec.tracing import Trace
+    events = []
+    for frame in frames:
+        reference_model.recognize(frame, trace=events)
+    return Trace.from_reference_events("reference", events)
+
+
+@pytest.fixture(scope="module")
+def level1_result(workload, reference_trace):
+    graph, frames, __, __, __ = workload
+    return run_level1(graph, {"CAMERA": frames},
+                      reference_trace=reference_trace,
+                      compare_channels=REFERENCE_CHANNELS)
+
+
+@pytest.fixture(scope="module")
+def level2_result(workload, level1_result):
+    graph, frames, __, __, profile = workload
+    partition = case_study_partition(graph)
+    return run_level2(graph, partition, {"CAMERA": frames}, profile=profile,
+                      level1_trace=level1_result.trace, deadline_ps=10**12)
+
+
+@pytest.fixture(scope="module")
+def level3_result(workload, level1_result):
+    graph, frames, __, __, profile = workload
+    partition = case_study_partition(graph, with_fpga=True)
+    return run_level3(graph, partition, {"CAMERA": frames}, profile=profile,
+                      reference_trace=level1_result.trace)
+
+
+def test_level1_sim_time(benchmark, workload):
+    """E-L1-SIM: the untimed level-1 model simulates in (well under) 15 s."""
+    graph, frames, __, __, __ = workload
+
+    result = benchmark.pedantic(
+        lambda: run_level1(graph, {"CAMERA": frames}), rounds=3, iterations=1)
+    paper_row("E-L1-SIM", "level-1 full-system simulation wall time",
+              "< 15 s (Sun U80)", f"{result.wall_seconds:.3f} s")
+    assert result.wall_seconds < 15.0
+
+
+def test_level1_functional_match(benchmark, level1_result, workload, reference_model):
+    """E-L1-FUNC: trace comparison against the C reference model."""
+    __, frames, shots, __, __ = workload
+    assert benchmark.pedantic(lambda: level1_result.matches_reference,
+                              rounds=1, iterations=1)
+    winners = level1_result.results["WINNER"]
+    hits = sum(1 for (identity, __), r in zip(shots, winners)
+               if r[0] == identity)
+    paper_row("E-L1-FUNC", "trace comparison vs reference",
+              "functionality fully verified",
+              f"0 mismatches over {level1_result.trace.token_count()} tokens; "
+              f"recognition {hits}/{len(winners)}")
+    assert hits == len(winners)
+
+
+def test_level2_sim_speed(benchmark, workload, level1_result):
+    """E-L2-SPEED: simulation speed of the timed level-2 architecture."""
+    graph, frames, __, __, profile = workload
+    partition = case_study_partition(graph)
+
+    result = benchmark.pedantic(
+        lambda: run_level2(graph, partition, {"CAMERA": frames},
+                           profile=profile, level1_trace=level1_result.trace),
+        rounds=3, iterations=1)
+    speed_khz = result.sim_speed_hz(ARM7TDMI) / 1e3
+    paper_row("E-L2-SPEED", "level-2 simulation speed",
+              "~200 kHz (Sun U80)", f"{speed_khz:.0f} kHz")
+    assert result.consistent_with_level1
+    assert speed_khz > 0
+
+
+def test_level3_sim_speed(benchmark, workload, level1_result):
+    """E-L3-SPEED: simulation speed with reconfiguration modelling."""
+    graph, frames, __, __, profile = workload
+    partition = case_study_partition(graph, with_fpga=True)
+
+    result = benchmark.pedantic(
+        lambda: run_level3(graph, partition, {"CAMERA": frames},
+                           profile=profile,
+                           reference_trace=level1_result.trace),
+        rounds=3, iterations=1)
+    speed_khz = result.sim_speed_hz(ARM7TDMI) / 1e3
+    paper_row("E-L3-SPEED", "level-3 simulation speed",
+              "~30 kHz (Sun U80)", f"{speed_khz:.0f} kHz")
+    assert result.consistent_with_level2
+    assert result.symbc.consistent
+    assert result.metrics.fpga_report["reconfigurations"] > 0
+
+
+def test_level2_over_level3_ratio(benchmark, level2_result, level3_result):
+    """E-L3-SPEED (shape): reconfiguration modelling costs several x."""
+    ratio = benchmark.pedantic(
+        lambda: level2_result.sim_speed_hz() / level3_result.sim_speed_hz(),
+        rounds=1, iterations=1)
+    paper_row("E-L3-RATIO", "level-2 / level-3 simulation speed ratio",
+              "200/30 = 6.7x", f"{ratio:.1f}x")
+    assert ratio > 1.5  # the shape claim: clearly slower with bitstreams
+
+
+def test_level3_bitstream_share(benchmark, level3_result):
+    """E-L3: bitstream downloads are a visible share of bus traffic."""
+    report = benchmark.pedantic(lambda: level3_result.metrics.bus_report,
+                                rounds=1, iterations=1)
+    bitstream = report["words_by_kind"].get("bitstream", 0)
+    share = bitstream / report["words"]
+    paper_row("E-L3-BUS", "bitstream share of bus words",
+              "downloading bit streams is costly in terms of bus loading",
+              f"{share:.1%} ({bitstream} of {report['words']} words)")
+    assert share > 0.05

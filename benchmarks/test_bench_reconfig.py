@@ -1,0 +1,117 @@
+"""E-L3-MAP / A-CONTEXT / A-STATIC: reconfiguration design choices.
+
+The paper maps DISTANCE and ROOT into the FPGA, "split into two different
+contexts, named config1 and config2", and motivates careful context
+partitioning: "the partition of algorithms and registers among the
+different configurations is an important architectural aspect which must
+be thoroughly tuned".  Its first implementation used a "static" approach
+with all HW resources simultaneously available — the baseline our
+ablation compares against.
+"""
+
+import pytest
+
+from benchmarks.conftest import paper_row
+from repro.facerec import case_study_partition
+from repro.facerec.pipeline import GATE_COUNTS
+from repro.flow import run_level3
+from repro.fpga import BitstreamModel, ContextMapper
+from repro.platform.partition import Side
+
+
+def test_case_study_mapping(benchmark, workload):
+    """E-L3-MAP: DISTANCE + ROOT into the FPGA as config1/config2."""
+    graph, frames, __, __, profile = workload
+    partition = case_study_partition(graph, with_fpga=True)
+
+    result = benchmark.pedantic(
+        lambda: run_level3(graph, partition, {"CAMERA": frames},
+                           profile=profile, capacity_gates=13_000),
+        rounds=1, iterations=1)
+    names = sorted(c.name for c in result.contexts)
+    functions = sorted(f for c in result.contexts for f in c.functions)
+    paper_row("E-L3-MAP", "FPGA context mapping",
+              "DISTANCE and ROOT split into config1 and config2",
+              f"{names} hosting {functions}")
+    assert names == ["config1", "config2"]
+    assert functions == ["DISTANCE", "ROOT"]
+    reconfigs = result.metrics.fpga_report["reconfigurations"]
+    paper_row("E-L3-MAP", "reconfigurations per frame",
+              "one per context use (SW-initiated)",
+              f"{reconfigs / result.metrics.frames:.1f}")
+    assert reconfigs == 2 * result.metrics.frames
+
+
+def test_context_ablation(benchmark, workload):
+    """A-CONTEXT: context partitioning vs reconfiguration traffic.
+
+    With enough capacity, fusing DISTANCE+ROOT into one context removes
+    per-frame switching entirely; with the paper's tight device the
+    two-context split is forced and pays 2 switches per frame.
+    """
+    graph, frames, __, __, __ = workload
+    schedule = [t for t in graph.topological_order()
+                if t in ("DISTANCE", "ROOT")] * len(frames)
+    gates = {t: GATE_COUNTS[t] for t in ("DISTANCE", "ROOT")}
+
+    def explore(capacity):
+        mapper = ContextMapper(gates, capacity, BitstreamModel())
+        return mapper.explore(["DISTANCE", "ROOT"], schedule)
+
+    tight = benchmark.pedantic(lambda: explore(13_000), rounds=1, iterations=1)
+    roomy = explore(20_000)
+    best_tight = tight[0]
+    best_roomy = roomy[0]
+    paper_row("A-CONTEXT", "13k-gate device (paper-like)",
+              "2 contexts forced, switch per call group",
+              best_tight.describe())
+    paper_row("A-CONTEXT", "20k-gate device",
+              "single fused context possible",
+              best_roomy.describe())
+    assert best_tight.context_count == 2
+    assert best_roomy.context_count == 1
+    assert best_roomy.downloaded_words < best_tight.downloaded_words
+
+
+def test_static_vs_reconfigurable(benchmark, workload):
+    """A-STATIC: the paper's first 'static' implementation vs the flow's.
+
+    Static = DISTANCE and ROOT as always-resident hardwired blocks: more
+    silicon, no bitstream traffic.  Reconfigurable = the level-3 design:
+    less logic resident, bitstream downloads on the bus, longer runtime.
+    """
+    graph, frames, __, __, profile = workload
+    static_partition = case_study_partition(graph)  # all HW hardwired
+    reconf_partition = case_study_partition(graph, with_fpga=True)
+
+    from repro.flow import run_level2
+
+    def run_both():
+        static = run_level2(graph, static_partition, {"CAMERA": frames},
+                            profile=profile)
+        reconf = run_level3(graph, reconf_partition, {"CAMERA": frames},
+                            profile=profile)
+        return static, reconf
+
+    static, reconf = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    # Area: the reconfigurable design keeps only the largest context
+    # resident; the static one pays for both engines at once.
+    static_gates = static.partition.hw_gate_count()
+    resident = (static_gates
+                - sum(GATE_COUNTS[t] for t in ("DISTANCE", "ROOT"))
+                + max(c.gate_count for c in reconf.contexts))
+    static_time = static.metrics.elapsed_ps
+    reconf_time = reconf.metrics.elapsed_ps
+    paper_row("A-STATIC", "resident HW gates",
+              "static approach: all resources simultaneously available",
+              f"static={static_gates}, reconfigurable={resident} "
+              f"({100 * (1 - resident / static_gates):.0f}% saved)")
+    paper_row("A-STATIC", "frame time cost of reconfiguration",
+              "bitstream downloads lengthen execution",
+              f"static={static_time / 1e9:.2f} ms, "
+              f"reconfigurable={reconf_time / 1e9:.2f} ms "
+              f"(+{100 * (reconf_time / static_time - 1):.0f}%)")
+    assert resident < static_gates
+    assert reconf_time > static_time
+    assert reconf.metrics.bus_report["words_by_kind"].get("bitstream", 0) > 0
+    assert static.metrics.bus_report["words_by_kind"].get("bitstream", 0) == 0

@@ -1,0 +1,143 @@
+"""Command-line driver: ``python -m repro <command>``.
+
+Exposes the flow as a tool a design team would actually run:
+
+- ``topology``  — print the Figure-2 system model;
+- ``flow``      — run the complete four-level methodology and report;
+- ``explore``   — the level-2 architecture exploration sweep;
+- ``verify``    — the level-1 LPV deadlock proof and ATPG smoke campaign;
+- ``wave``      — synthesise the ROOT module, run it, dump a VCD trace.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.facerec import FacerecConfig
+from repro.flow import SymbadFlow
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--identities", type=int, default=10,
+                        help="database identities (paper: 20)")
+    parser.add_argument("--poses", type=int, default=2,
+                        help="poses per identity (paper: multiple)")
+    parser.add_argument("--size", type=int, default=48,
+                        help="frame side in pixels (even, >= 16)")
+    parser.add_argument("--frames", type=int, default=3,
+                        help="probe frames to process")
+
+
+def _config(args) -> FacerecConfig:
+    return FacerecConfig(identities=args.identities, poses=args.poses,
+                         size=args.size)
+
+
+def cmd_topology(args) -> int:
+    flow = SymbadFlow(config=_config(args), frames=args.frames)
+    print(flow.topology())
+    return 0
+
+
+def cmd_flow(args) -> int:
+    flow = SymbadFlow(config=_config(args), frames=args.frames)
+    report = flow.run(run_pcc=args.pcc)
+    print(report.describe())
+    ok = (report.level1.matches_reference
+          and report.level2.consistent_with_level1
+          and report.level3.consistent_with_level2
+          and report.level3.symbc.consistent
+          and report.level4.verified)
+    return 0 if ok else 1
+
+
+def cmd_explore(args) -> int:
+    from repro.facerec import CameraConfig, FaceSampler, build_graph
+    from repro.platform import Explorer, profile_graph
+
+    config = _config(args)
+    graph = build_graph(config)
+    sampler = FaceSampler(CameraConfig(size=config.size))
+    frames = sampler.frames([(i % config.identities, i % config.poses)
+                             for i in range(args.frames)])
+    profile = profile_graph(graph, {"CAMERA": frames})
+    print(profile.describe())
+    result = Explorer(graph, profile).explore({"CAMERA": frames},
+                                              max_hw=args.max_hw)
+    print()
+    print(result.describe())
+    return 0
+
+
+def cmd_verify(args) -> int:
+    from repro.facerec import build_graph
+    from repro.verify.lpv import check_deadlock_freedom, graph_to_petri
+
+    config = _config(args)
+    graph = build_graph(config)
+    report = check_deadlock_freedom(graph_to_petri(graph), confirm=False)
+    print(report.describe())
+    return 0 if report.deadlock_free else 1
+
+
+def cmd_wave(args) -> int:
+    from repro.facerec.swmodels import root_function
+    from repro.rtl.synth import synthesize
+    from repro.rtl.vcd import dump_fsmd_run
+
+    netlist = synthesize(root_function(16), width=16)
+    stimulus = [{"start": 1, "arg_n": args.value}]
+    stimulus += [{"start": 0, "arg_n": 0}] * (args.cycles - 1)
+    with open(args.out, "w") as stream:
+        cycles = dump_fsmd_run(netlist, stimulus, stream)
+    print(f"wrote {cycles} cycles of {netlist.name} to {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Symbad reconfigurable-SoC design & verification flow",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_topology = sub.add_parser("topology", help="print the system model")
+    _add_workload_args(p_topology)
+    p_topology.set_defaults(func=cmd_topology)
+
+    p_flow = sub.add_parser("flow", help="run the full four-level flow")
+    _add_workload_args(p_flow)
+    p_flow.add_argument("--pcc", action="store_true",
+                        help="include the PCC property-coverage pass (slow)")
+    p_flow.set_defaults(func=cmd_flow)
+
+    p_explore = sub.add_parser("explore", help="level-2 architecture sweep")
+    _add_workload_args(p_explore)
+    p_explore.add_argument("--max-hw", type=int, default=6,
+                           help="largest heaviest-k-to-HW candidate")
+    p_explore.set_defaults(func=cmd_explore)
+
+    p_verify = sub.add_parser("verify",
+                              help="LPV deadlock proof of the system model")
+    _add_workload_args(p_verify)
+    p_verify.set_defaults(func=cmd_verify)
+
+    p_wave = sub.add_parser("wave", help="dump a VCD trace of the ROOT FSMD")
+    p_wave.add_argument("--value", type=int, default=30_000,
+                        help="input to take the square root of")
+    p_wave.add_argument("--cycles", type=int, default=64,
+                        help="cycles to trace")
+    p_wave.add_argument("--out", default="root.vcd", help="output VCD path")
+    p_wave.set_defaults(func=cmd_wave)
+    return parser
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,136 @@
+"""Synthetic low-resolution CMOS camera.
+
+Substitution for the paper's camera hardware (see DESIGN.md): a
+procedural face generator renders an identity under a pose, and the
+capture path mosaics it through an RGGB Bayer pattern with sensor noise —
+so the downstream pipeline (demosaic, denoise, edge extraction...)
+processes data with the same structure a real sensor would produce.
+
+Faces are parameterised ellipse-and-features sketches: head outline,
+two eyes, eyebrows and a mouth, whose geometry derives deterministically
+from the identity index, displaced and shaded by the pose.  This is
+deliberately simple — the paper's claims are about the design flow, not
+recognition accuracy — but identities are separable, so the end-to-end
+recognition experiment is meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CameraConfig:
+    """Geometry and noise of the synthetic sensor."""
+
+    size: int = 64
+    noise_sigma: float = 2.0
+    seed: int = 2004
+
+    def __post_init__(self) -> None:
+        if self.size < 16 or self.size % 2:
+            raise ValueError("camera size must be an even integer >= 16")
+        if self.noise_sigma < 0:
+            raise ValueError("noise_sigma must be non-negative")
+
+
+def _identity_params(identity: int) -> dict:
+    """Deterministic facial geometry for one identity."""
+    rng = np.random.default_rng(10_000 + identity)
+    return {
+        "head_a": 0.30 + 0.10 * rng.random(),   # semi-axis x (fraction of size)
+        "head_b": 0.38 + 0.08 * rng.random(),   # semi-axis y
+        "eye_dx": 0.10 + 0.06 * rng.random(),   # eye offset from centre
+        "eye_y": -0.10 - 0.06 * rng.random(),
+        "eye_r": 0.025 + 0.025 * rng.random(),
+        "brow_tilt": (rng.random() - 0.5) * 0.2,
+        "mouth_w": 0.10 + 0.08 * rng.random(),
+        "mouth_y": 0.18 + 0.06 * rng.random(),
+        "mouth_curve": (rng.random() - 0.3) * 0.3,
+        "skin": 150 + rng.integers(0, 60),
+    }
+
+
+def synth_face(identity: int, pose: int, size: int = 64) -> np.ndarray:
+    """Render identity ``identity`` under ``pose`` as a grayscale image.
+
+    Pose shifts the face centre and scales it slightly (head turn /
+    distance), mimicking the paper's "multiple poses" per database
+    entry.  Returns a ``(size, size) uint8`` array.
+    """
+    p = _identity_params(identity)
+    # Pose: lateral shift and scale.
+    shift_x = ((pose % 3) - 1) * 0.06
+    shift_y = ((pose // 3) % 3 - 1) * 0.04
+    scale = 1.0 - 0.05 * (pose % 2)
+
+    yy, xx = np.mgrid[0:size, 0:size]
+    cx = size / 2 + shift_x * size
+    cy = size / 2 + shift_y * size
+    nx = (xx - cx) / (size * p["head_a"] * scale)
+    ny = (yy - cy) / (size * p["head_b"] * scale)
+
+    img = np.zeros((size, size), dtype=np.float64)
+    head = nx * nx + ny * ny <= 1.0
+    img[head] = p["skin"]
+    # Shading gradient across the head (pose-dependent illumination).
+    img += head * (20.0 * nx * (1 + 0.3 * ((pose % 3) - 1)))
+
+    def disk(cx_f: float, cy_f: float, r_f: float, value: float) -> None:
+        dxx = xx - (cx + cx_f * size)
+        dyy = yy - (cy + cy_f * size)
+        mask = dxx * dxx + dyy * dyy <= (r_f * size) ** 2
+        img[mask] = value
+
+    # Eyes.
+    disk(-p["eye_dx"] * scale, p["eye_y"] * scale, p["eye_r"], 30)
+    disk(+p["eye_dx"] * scale, p["eye_y"] * scale, p["eye_r"], 30)
+    # Eyebrows: short dark segments above the eyes.
+    for side in (-1, +1):
+        ex = cx + side * p["eye_dx"] * scale * size
+        ey = cy + (p["eye_y"] - 0.07) * scale * size + side * p["brow_tilt"] * 4
+        brow = (np.abs(yy - ey) <= 1) & (np.abs(xx - ex) <= p["eye_r"] * size * 1.6)
+        img[brow] = 50
+    # Mouth: curved dark band.
+    mx = xx - cx
+    mouth_y = cy + p["mouth_y"] * scale * size + p["mouth_curve"] * (mx / size) ** 2 * size
+    mouth = (np.abs(yy - mouth_y) <= 1.2) & (np.abs(mx) <= p["mouth_w"] * size)
+    img[mouth] = 40
+    return np.clip(img, 0, 255).astype(np.uint8)
+
+
+def bayer_mosaic(gray: np.ndarray) -> np.ndarray:
+    """Mosaic a grayscale scene through an RGGB colour filter array.
+
+    Channel responses differ (R 0.9 / G 1.0 / B 0.8), so demosaicing is a
+    real reconstruction problem, not a pass-through.
+    """
+    if gray.ndim != 2:
+        raise ValueError("bayer_mosaic expects a 2-D image")
+    out = gray.astype(np.float64).copy()
+    out[0::2, 0::2] *= 0.9   # R
+    out[1::2, 1::2] *= 0.8   # B
+    # G positions keep unit gain.
+    return np.clip(out, 0, 255).astype(np.uint8)
+
+
+class FaceSampler:
+    """Deterministic stream of captured frames for stimuli generation."""
+
+    def __init__(self, config: CameraConfig = CameraConfig()):
+        self.config = config
+        self._rng = np.random.default_rng(config.seed)
+
+    def capture(self, identity: int, pose: int) -> np.ndarray:
+        """One noisy Bayer frame of ``identity`` under ``pose``."""
+        gray = synth_face(identity, pose, self.config.size)
+        mosaic = bayer_mosaic(gray).astype(np.float64)
+        if self.config.noise_sigma > 0:
+            mosaic += self._rng.normal(0, self.config.noise_sigma, mosaic.shape)
+        return np.clip(mosaic, 0, 255).astype(np.uint8)
+
+    def frames(self, shots: list[tuple[int, int]]) -> list[np.ndarray]:
+        """Capture a list of (identity, pose) shots."""
+        return [self.capture(i, p) for i, p in shots]

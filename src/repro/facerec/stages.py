@@ -1,0 +1,238 @@
+"""The processing algorithms of the face-recognition pipeline.
+
+Each function implements one module of the paper's Figure 2 as a pure
+function over numpy arrays, paired with an operation-count estimate
+(``*_ops``) used by profiling and timing annotation.  All computation is
+integer-friendly — these stages must be implementable as the paper's HW
+blocks (the ROOT module, an iterative integer square root, is the classic
+FPGA datapath example).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Side of the normalised face window produced by CRTBORD.
+WINDOW = 32
+#: Length of the feature vector produced by CALCLINE.
+FEATURES = 2 * WINDOW
+
+
+# -- BAY: Bayer demosaic ---------------------------------------------------------
+
+def bay(mosaic: np.ndarray) -> np.ndarray:
+    """Reconstruct luminance from an RGGB mosaic (3x3 box demosaic).
+
+    A real demosaic interpolates each colour plane; for luminance-only
+    recognition a gain-corrected local average suffices and matches the
+    modest HW block the paper's platform would carry.
+    """
+    m = mosaic.astype(np.float64)
+    gain = np.ones_like(m)
+    gain[0::2, 0::2] = 1.0 / 0.9
+    gain[1::2, 1::2] = 1.0 / 0.8
+    corrected = m * gain
+    padded = np.pad(corrected, 1, mode="edge")
+    acc = np.zeros_like(corrected)
+    for dy in range(3):
+        for dx in range(3):
+            acc += padded[dy:dy + corrected.shape[0], dx:dx + corrected.shape[1]]
+    return np.clip(acc / 9.0, 0, 255).astype(np.uint8)
+
+
+def bay_ops(mosaic: np.ndarray) -> int:
+    return int(mosaic.size * 12)  # 9 adds + gain + divide + clip per pixel
+
+
+# -- EROSION: grayscale 3x3 erosion (denoise) ---------------------------------------
+
+def erosion(image: np.ndarray) -> np.ndarray:
+    """3x3 grayscale erosion: each pixel becomes its neighbourhood minimum."""
+    padded = np.pad(image, 1, mode="edge")
+    out = image.copy()
+    for dy in range(3):
+        for dx in range(3):
+            np.minimum(out, padded[dy:dy + image.shape[0], dx:dx + image.shape[1]], out=out)
+    return out
+
+
+def erosion_ops(image: np.ndarray) -> int:
+    return int(image.size * 9)
+
+
+# -- EDGE: Sobel gradient magnitude ----------------------------------------------------
+
+def edge(image: np.ndarray) -> np.ndarray:
+    """Sobel edge magnitude, saturated to uint8."""
+    img = image.astype(np.int32)
+    padded = np.pad(img, 1, mode="edge")
+
+    def window(dy: int, dx: int) -> np.ndarray:
+        return padded[dy:dy + img.shape[0], dx:dx + img.shape[1]]
+
+    gx = (
+        -window(0, 0) + window(0, 2)
+        - 2 * window(1, 0) + 2 * window(1, 2)
+        - window(2, 0) + window(2, 2)
+    )
+    gy = (
+        -window(0, 0) - 2 * window(0, 1) - window(0, 2)
+        + window(2, 0) + 2 * window(2, 1) + window(2, 2)
+    )
+    mag = np.abs(gx) + np.abs(gy)  # L1 magnitude: HW-friendly
+    return np.clip(mag, 0, 255).astype(np.uint8)
+
+
+def edge_ops(image: np.ndarray) -> int:
+    return int(image.size * 22)
+
+
+# -- ELLIPSE: moment-based face-ellipse fit ---------------------------------------------
+
+def ellipse_fit(edges: np.ndarray, threshold: int = 40) -> tuple[np.ndarray, tuple]:
+    """Fit an ellipse to the strong-edge distribution.
+
+    Returns the edge map (passed through for cropping) and the ellipse
+    parameters ``(cx, cy, a, b)`` as integers: centroid and 2-sigma
+    semi-axes of the thresholded edge mass.  Falls back to the full
+    frame when no edges survive the threshold.
+    """
+    mask = edges >= threshold
+    total = int(mask.sum())
+    h, w = edges.shape
+    if total == 0:
+        return edges, (w // 2, h // 2, w // 2, h // 2)
+    ys, xs = np.nonzero(mask)
+    cx = int(xs.mean())
+    cy = int(ys.mean())
+    a = max(2, int(2.0 * xs.std()))
+    b = max(2, int(2.0 * ys.std()))
+    return edges, (cx, cy, a, b)
+
+
+def ellipse_ops(edges: np.ndarray) -> int:
+    return int(edges.size * 8)
+
+
+# -- CRTBORD: crop the face border window ---------------------------------------------------
+
+def crtbord(edges: np.ndarray, params: tuple, window: int = WINDOW) -> np.ndarray:
+    """Crop the ellipse bounding box and normalise it to ``window``².
+
+    Nearest-neighbour resampling: integer-only, HW-friendly.
+    """
+    cx, cy, a, b = params
+    h, w = edges.shape
+    x0, x1 = max(0, cx - a), min(w, cx + a + 1)
+    y0, y1 = max(0, cy - b), min(h, cy + b + 1)
+    crop = edges[y0:y1, x0:x1]
+    if crop.size == 0:
+        crop = edges
+    ys = (np.arange(window) * crop.shape[0]) // window
+    xs = (np.arange(window) * crop.shape[1]) // window
+    return crop[np.ix_(ys, xs)].astype(np.uint8)
+
+
+def crtbord_ops(edges: np.ndarray) -> int:
+    return int(WINDOW * WINDOW * 4)
+
+
+# -- CRTLINE / CALCLINE: scan-line features -----------------------------------------------------
+
+def crtline(window_img: np.ndarray) -> np.ndarray:
+    """Extract the scan-line set: all rows and all columns of the window.
+
+    Output shape ``(2 * window, window)``: rows first, then columns.
+    """
+    return np.concatenate([window_img, window_img.T], axis=0).astype(np.uint8)
+
+
+def crtline_ops(window_img: np.ndarray) -> int:
+    return int(window_img.size * 2)
+
+
+def calcline(lines: np.ndarray) -> np.ndarray:
+    """Reduce each scan line to its integral: the feature vector.
+
+    Features are 0-255 normalised line sums — a projection signature
+    (horizontal + vertical profiles) of the edge window.
+    """
+    sums = lines.astype(np.int64).sum(axis=1)
+    peak = int(sums.max()) if sums.size else 0
+    if peak == 0:
+        return np.zeros(lines.shape[0], dtype=np.int32)
+    return ((sums * 255) // peak).astype(np.int32)
+
+
+def calcline_ops(lines: np.ndarray) -> int:
+    return int(lines.size + 2 * lines.shape[0])
+
+
+# -- DISTANCE / CALCDIST / ROOT / WINNER: matching chain ---------------------------------------------
+
+def distance(features: np.ndarray, db_matrix: np.ndarray) -> np.ndarray:
+    """Signed differences between the unknown features and every DB entry.
+
+    ``db_matrix`` has shape ``(entries, FEATURES)``; the result has the
+    same shape.  This is the streaming compare engine mapped onto the
+    FPGA in the case study.
+    """
+    if features.shape[0] != db_matrix.shape[1]:
+        raise ValueError(
+            f"feature length {features.shape[0]} != DB width {db_matrix.shape[1]}"
+        )
+    return (db_matrix.astype(np.int32) - features.astype(np.int32))
+
+
+def distance_ops(features: np.ndarray, db_matrix: np.ndarray) -> int:
+    return int(db_matrix.size * 2)
+
+
+def calcdist(diffs: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distance per DB entry (sum of squared diffs)."""
+    d = diffs.astype(np.int64)
+    return (d * d).sum(axis=1)
+
+
+def calcdist_ops(diffs: np.ndarray) -> int:
+    return int(diffs.size * 2)
+
+
+def isqrt(value: int) -> int:
+    """Integer square root by Newton iteration — the ROOT HW module.
+
+    The classic small-datapath FPGA block: shift/add only, bounded
+    iteration count.
+    """
+    if value < 0:
+        raise ValueError("isqrt of negative value")
+    if value < 2:
+        return value
+    x = 1 << ((value.bit_length() + 1) // 2)
+    while True:
+        y = (x + value // x) // 2
+        if y >= x:
+            return x
+        x = y
+
+
+def root(sq_dists: np.ndarray) -> np.ndarray:
+    """Element-wise integer square root of the squared distances."""
+    return np.array([isqrt(int(v)) for v in sq_dists], dtype=np.int64)
+
+
+def root_ops(sq_dists: np.ndarray) -> int:
+    return int(len(sq_dists) * 30)  # ~bit_length iterations x add/shift/div
+
+
+def winner(dists: np.ndarray, labels: list[tuple[int, int]]) -> tuple[int, int, int]:
+    """Select the best match: ``(identity, pose, distance)``."""
+    if len(dists) != len(labels):
+        raise ValueError("distance vector and label list disagree")
+    best = int(np.argmin(dists))
+    identity, pose = labels[best]
+    return identity, pose, int(dists[best])
+
+
+def winner_ops(dists: np.ndarray) -> int:
+    return int(len(dists))

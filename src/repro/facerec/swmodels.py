@@ -1,0 +1,68 @@
+"""IR models of the FPGA-hosted modules (level-4 synthesis inputs).
+
+The paper's level 4 produces RTL for the modules carried by the FPGA.
+These are their behavioural descriptions in the software IR, restricted
+to the synthesisable subset (shift/add datapaths):
+
+- :func:`root_function` — the ROOT module: non-restoring integer square
+  root (shift-and-add only, bounded iterations);
+- :func:`distance_step_function` — the DISTANCE/CALCDIST inner datapath:
+  one accumulate step ``acc + (a - b)^2`` of the squared-Euclidean
+  distance between the probe features and a database entry.
+"""
+
+from __future__ import annotations
+
+from repro.swir.ast import BinOp, Const, Function, Var
+from repro.swir.builder import FunctionBuilder
+
+
+def root_function(width: int = 16) -> Function:
+    """Shift-add integer square root (the ROOT FPGA module).
+
+    Classic non-restoring algorithm: only shifts, adds, subtracts and
+    comparisons, which is why ROOT is the paper's natural FPGA kernel.
+    ``width`` bounds the input: the initial probe bit is the largest
+    power of four representable.
+    """
+    top_power = 1 << (((width - 2) // 2) * 2)  # largest power of 4 < 2**(width-1)
+    fb = FunctionBuilder("root", ["n"])
+    fb.assign("x", Var("n"))
+    fb.assign("c", Const(0))
+    fb.assign("d", Const(top_power))
+    with fb.while_(BinOp(">", Var("d"), Var("n"))):
+        fb.assign("d", BinOp(">>", Var("d"), Const(2)))
+    with fb.while_(BinOp("!=", Var("d"), Const(0))):
+        with fb.if_else(
+            BinOp(">=", Var("x"), BinOp("+", Var("c"), Var("d")))
+        ) as orelse:
+            fb.assign("x", BinOp("-", Var("x"), BinOp("+", Var("c"), Var("d"))))
+            fb.assign("c", BinOp("+", BinOp(">>", Var("c"), Const(1)), Var("d")))
+        with orelse():
+            fb.assign("c", BinOp(">>", Var("c"), Const(1)))
+        fb.assign("d", BinOp(">>", Var("d"), Const(2)))
+    fb.ret(Var("c"))
+    return fb.build()
+
+
+def distance_step_function() -> Function:
+    """One accumulation step of the DISTANCE engine: ``acc + (a-b)^2``.
+
+    The streaming DISTANCE/CALCDIST hardware applies this step once per
+    feature pair; synthesising and verifying the step verifies the
+    engine's datapath.
+    """
+    fb = FunctionBuilder("distance_step", ["acc", "a", "b"])
+    with fb.if_else(BinOp(">=", Var("a"), Var("b"))) as orelse:
+        fb.assign("d", BinOp("-", Var("a"), Var("b")))
+    with orelse():
+        fb.assign("d", BinOp("-", Var("b"), Var("a")))
+    fb.assign("sq", BinOp("*", Var("d"), Var("d")))
+    fb.ret(BinOp("+", Var("acc"), Var("sq")))
+    return fb.build()
+
+
+def distance_step_reference(acc: int, a: int, b: int, width: int = 16) -> int:
+    """Host reference of :func:`distance_step_function` (modular)."""
+    d = a - b if a >= b else b - a
+    return (acc + d * d) & ((1 << width) - 1)

@@ -1,0 +1,181 @@
+"""The end-to-end Symbad flow on the face-recognition case study.
+
+:class:`SymbadFlow` wires the whole methodology together: it builds the
+application (database, graph, camera stimuli), then walks the four
+levels in order, carrying the cross-level consistency checks with it —
+exactly the campaign Section 4 of the paper narrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.facerec.camera import CameraConfig, FaceSampler
+from repro.facerec.database import enroll_database
+from repro.facerec.pipeline import FacerecConfig, build_graph, case_study_partition
+from repro.facerec.reference import ReferenceModel
+from repro.facerec.swmodels import (
+    distance_step_function,
+    distance_step_reference,
+    root_function,
+)
+from repro.facerec.stages import isqrt
+from repro.facerec.tracing import Trace
+from repro.flow.level1 import Level1Result, run_level1
+from repro.flow.level2 import Level2Result, run_level2
+from repro.flow.level3 import Level3Result, run_level3
+from repro.flow.level4 import Level4Result, run_level4
+from repro.flow.reportgen import flow_figure, topology_figure
+from repro.platform.cpu import CpuModel, ARM7TDMI
+from repro.platform.profiler import profile_graph
+
+#: Channels the reference model traces (internal trigger excluded).
+REFERENCE_CHANNELS = [
+    "c_gray", "c_eroded", "c_edges", "c_border", "c_lines",
+    "c_feat", "c_diffs", "c_sq", "c_dist",
+]
+
+
+@dataclass
+class FlowReport:
+    """Everything one end-to-end flow run produces."""
+
+    config: FacerecConfig
+    shots: list[tuple[int, int]]
+    level1: Level1Result
+    level2: Level2Result
+    level3: Level3Result
+    level4: Level4Result
+    recognition_accuracy: float
+    sim_speed_ratio: float  # level2 speed / level3 speed (paper ~6.7x)
+
+    def describe(self) -> str:
+        sections = [
+            flow_figure(),
+            self.level1.describe(),
+            "",
+            self.level2.describe(),
+            "",
+            self.level3.describe(),
+            "",
+            self.level4.describe(),
+            "",
+            f"recognition accuracy over {len(self.shots)} probe frames: "
+            f"{self.recognition_accuracy:.1%}",
+            f"level-2/level-3 simulation speed ratio: {self.sim_speed_ratio:.1f}x "
+            "(paper: 200 kHz / 30 kHz = 6.7x)",
+        ]
+        return "\n".join(sections)
+
+
+class SymbadFlow:
+    """Driver for the complete case study."""
+
+    def __init__(
+        self,
+        config: FacerecConfig = FacerecConfig(),
+        frames: int = 5,
+        noise_sigma: float = 2.0,
+        cpu: CpuModel = ARM7TDMI,
+        capacity_gates: int = 16_000,
+        seed: int = 2004,
+    ):
+        self.config = config
+        self.cpu = cpu
+        self.capacity_gates = capacity_gates
+        self.database = enroll_database(config.identities, config.poses, config.size)
+        self.graph = build_graph(config, self.database)
+        self.reference = ReferenceModel(self.database)
+        sampler = FaceSampler(CameraConfig(size=config.size,
+                                           noise_sigma=noise_sigma, seed=seed))
+        self.shots = [
+            (i % config.identities, (i * 7) % config.poses) for i in range(frames)
+        ]
+        self.frames = sampler.frames(self.shots)
+
+    # -- individual levels --------------------------------------------------------
+
+    def reference_trace(self) -> Trace:
+        events: list = []
+        for frame in self.frames:
+            self.reference.recognize(frame, trace=events)
+        return Trace.from_reference_events("reference", events)
+
+    def run(self, deadline_ms: Optional[float] = 500.0,
+            run_pcc: bool = False) -> FlowReport:
+        """Walk all four levels; returns the flow report."""
+        stimuli = {"CAMERA": list(self.frames)}
+        reference_trace = self.reference_trace()
+
+        level1 = run_level1(self.graph, stimuli,
+                            reference_trace=reference_trace,
+                            compare_channels=REFERENCE_CHANNELS)
+
+        profile = profile_graph(self.graph, stimuli)
+        partition2 = case_study_partition(self.graph)
+        deadline_ps = int(deadline_ms * 1e9) if deadline_ms is not None else None
+        level2 = run_level2(
+            self.graph, partition2, stimuli, cpu=self.cpu, profile=profile,
+            level1_trace=level1.trace, deadline_ps=deadline_ps,
+        )
+
+        partition3 = case_study_partition(self.graph, with_fpga=True)
+        level3 = run_level3(
+            self.graph, partition3, stimuli,
+            capacity_gates=self.capacity_gates, cpu=self.cpu, profile=profile,
+            reference_trace=level1.trace,
+        )
+
+        width = 16
+        max_value = (1 << (width - 1)) - 1
+        level4 = run_level4(
+            functions={
+                "ROOT": root_function(width),
+                "DISTANCE_STEP": distance_step_function(),
+            },
+            reference_impls={
+                "ROOT": lambda n: isqrt(n),
+                "DISTANCE_STEP": lambda acc, a, b: distance_step_reference(
+                    acc, a, b, width
+                ),
+            },
+            test_inputs={
+                "ROOT": [{"n": v} for v in (0, 1, 2, 99, 1024, max_value)],
+                "DISTANCE_STEP": [
+                    {"acc": 0, "a": 200, "b": 55},
+                    {"acc": 123, "a": 7, "b": 250},
+                    {"acc": 500, "a": 0, "b": 0},
+                ],
+            },
+            width=width,
+            run_pcc=run_pcc,
+        )
+
+        accuracy = self._accuracy(level1)
+        speed2 = level2.sim_speed_hz(self.cpu)
+        speed3 = level3.sim_speed_hz(self.cpu)
+        ratio = speed2 / speed3 if speed3 else float("inf")
+        return FlowReport(
+            config=self.config,
+            shots=self.shots,
+            level1=level1,
+            level2=level2,
+            level3=level3,
+            level4=level4,
+            recognition_accuracy=accuracy,
+            sim_speed_ratio=ratio,
+        )
+
+    def _accuracy(self, level1: Level1Result) -> float:
+        winners = level1.results.get("WINNER", [])
+        if not winners:
+            return 0.0
+        hits = sum(
+            1 for (identity, __), result in zip(self.shots, winners)
+            if result is not None and result[0] == identity
+        )
+        return hits / len(winners)
+
+    def topology(self) -> str:
+        return topology_figure(self.graph)

@@ -1,0 +1,71 @@
+"""Discrete-event simulation kernel (SystemC 2.0 substitute).
+
+The Symbad flow in the paper is built on the OSCI SystemC 2.0 simulator.
+This package provides the equivalent substrate in pure Python:
+
+- :class:`~repro.kernel.simtime.SimTime` — integer picosecond time type
+  with unit helpers (``ns``, ``us`` ...).
+- :class:`~repro.kernel.events.Event` — notifiable synchronisation
+  primitive with immediate, delta and timed notification.
+- :class:`~repro.kernel.process.Process` — a cooperative process wrapped
+  around a Python generator; processes suspend by yielding wait requests.
+- :class:`~repro.kernel.scheduler.Simulator` — the event-driven scheduler
+  implementing the SystemC evaluate/update (delta-cycle) semantics.
+- :class:`~repro.kernel.module.Module` — hierarchical structural unit.
+- :mod:`~repro.kernel.channels` — ``Signal`` (delta-buffered) and
+  ``Fifo`` (blocking bounded queue) primitive channels.
+
+A process is any generator function; it interacts with the kernel by
+yielding :func:`wait` requests::
+
+    def producer(sim, fifo):
+        for i in range(10):
+            yield from fifo.put(i)
+            yield wait(10, NS)
+
+See ``examples/quickstart.py`` for an end-to-end tour.
+"""
+
+from repro.kernel.simtime import (
+    SimTime,
+    PS,
+    NS,
+    US,
+    MS,
+    SEC,
+    time_ps,
+)
+from repro.kernel.events import Event, wait, wait_any, wait_all
+from repro.kernel.process import Process, ProcessState
+from repro.kernel.scheduler import Simulator, SimulationError
+from repro.kernel.module import Module
+from repro.kernel.ports import Port, PortBindingError
+from repro.kernel.channels import Signal, Fifo, FifoFullError, FifoEmptyError
+from repro.kernel.sync import Mutex, Semaphore
+
+__all__ = [
+    "Mutex",
+    "Semaphore",
+    "SimTime",
+    "PS",
+    "NS",
+    "US",
+    "MS",
+    "SEC",
+    "time_ps",
+    "Event",
+    "wait",
+    "wait_any",
+    "wait_all",
+    "Process",
+    "ProcessState",
+    "Simulator",
+    "SimulationError",
+    "Module",
+    "Port",
+    "PortBindingError",
+    "Signal",
+    "Fifo",
+    "FifoFullError",
+    "FifoEmptyError",
+]

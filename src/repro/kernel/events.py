@@ -1,0 +1,140 @@
+"""Events and wait requests.
+
+An :class:`Event` is the kernel's synchronisation primitive, equivalent to
+SystemC's ``sc_event``: processes suspend on it and resume when it is
+notified.  Notification can be immediate (same evaluate phase), delta
+(next delta cycle) or timed.
+
+Processes do not call the scheduler directly; they *yield* wait requests,
+small descriptor objects built by :func:`wait`, :func:`wait_any` and
+:func:`wait_all`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.kernel.process import Process
+    from repro.kernel.scheduler import Simulator
+
+
+class Event:
+    """A notifiable event; processes block on it via ``yield wait(event)``."""
+
+    __slots__ = ("name", "_sim", "_waiters", "_pending_ps")
+
+    def __init__(self, name: str = "event", sim: "Optional[Simulator]" = None):
+        self.name = name
+        self._sim = sim
+        self._waiters: list[Process] = []
+        #: absolute ps of a pending timed notification, or None
+        self._pending_ps: Optional[int] = None
+
+    def _attach(self, sim: "Simulator") -> None:
+        self._sim = sim
+
+    def notify(self, delay_ps: int = 0) -> None:
+        """Notify this event after ``delay_ps`` picoseconds.
+
+        ``delay_ps == 0`` is a *delta* notification: waiters wake in the
+        next delta cycle of the current time, as in SystemC's
+        ``notify(SC_ZERO_TIME)``.  A later pending notification is
+        cancelled by an earlier one (SystemC's earliest-wins rule).
+        """
+        if self._sim is None:
+            raise RuntimeError(
+                f"event {self.name!r} is not attached to a simulator; "
+                "create it via Simulator.event() or Module helpers"
+            )
+        when = self._sim.now_ps + delay_ps
+        if self._pending_ps is not None and self._pending_ps <= when:
+            return
+        self._pending_ps = when
+        self._sim._schedule_event_fire(self, delay_ps)
+
+    def notify_immediate(self) -> None:
+        """Wake waiters in the *current* evaluate phase (sc ``notify()``)."""
+        if self._sim is None:
+            raise RuntimeError(f"event {self.name!r} is not attached to a simulator")
+        self._fire()
+
+    def cancel(self) -> None:
+        """Cancel any pending timed/delta notification."""
+        self._pending_ps = None
+
+    def _fire(self) -> None:
+        self._pending_ps = None
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            proc._on_event(self)
+
+    def _subscribe(self, proc: "Process") -> None:
+        self._waiters.append(proc)
+
+    def _unsubscribe(self, proc: "Process") -> None:
+        try:
+            self._waiters.remove(proc)
+        except ValueError:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Event({self.name!r}, waiters={len(self._waiters)})"
+
+
+class WaitRequest:
+    """Base class for the descriptors a process yields to suspend itself."""
+
+    __slots__ = ()
+
+
+class TimeWait(WaitRequest):
+    """Suspend for a fixed duration."""
+
+    __slots__ = ("duration_ps",)
+
+    def __init__(self, duration_ps: int):
+        if duration_ps < 0:
+            raise ValueError(f"negative wait: {duration_ps}")
+        self.duration_ps = duration_ps
+
+
+class EventWait(WaitRequest):
+    """Suspend until one (any-of) or all (all-of) events fire.
+
+    ``timeout_ps`` optionally bounds the wait; on timeout the process
+    resumes with ``None`` instead of the triggering event.
+    """
+
+    __slots__ = ("events", "mode", "timeout_ps")
+
+    def __init__(self, events: tuple[Event, ...], mode: str, timeout_ps: Optional[int] = None):
+        if not events:
+            raise ValueError("EventWait requires at least one event")
+        if mode not in ("any", "all"):
+            raise ValueError(f"bad mode {mode!r}")
+        self.events = events
+        self.mode = mode
+        self.timeout_ps = timeout_ps
+
+
+def wait(duration_or_event, unit: int = 1, timeout_ps: Optional[int] = None) -> WaitRequest:
+    """Build a wait request: ``yield wait(10, NS)`` or ``yield wait(event)``.
+
+    With a numeric first argument the process sleeps for that duration
+    (scaled by ``unit``).  With an :class:`Event` it blocks until the
+    event is notified, optionally bounded by ``timeout_ps``.
+    """
+    if isinstance(duration_or_event, Event):
+        return EventWait((duration_or_event,), "any", timeout_ps)
+    return TimeWait(int(round(duration_or_event * unit)))
+
+
+def wait_any(events: Iterable[Event], timeout_ps: Optional[int] = None) -> EventWait:
+    """Block until *any* of ``events`` fires (sc ``wait(e1 | e2)``)."""
+    return EventWait(tuple(events), "any", timeout_ps)
+
+
+def wait_all(events: Iterable[Event], timeout_ps: Optional[int] = None) -> EventWait:
+    """Block until *all* of ``events`` have fired (sc ``wait(e1 & e2)``)."""
+    return EventWait(tuple(events), "all", timeout_ps)

@@ -1,0 +1,72 @@
+"""Ports: typed binding points between modules and channels.
+
+A port forwards attribute access to the channel bound to it, so module
+code written against a port works with any channel implementing the
+expected interface — the mechanism behind the paper's level transitions,
+where a point-to-point FIFO at level 1 is rebound to a bus adapter at
+level 2 without touching module code.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class PortBindingError(RuntimeError):
+    """Raised when a port is used unbound or bound twice."""
+
+
+class Port(Generic[T]):
+    """A named, single-binding indirection to a channel.
+
+    >>> port = Port("out")
+    >>> port.bound
+    False
+    """
+
+    def __init__(self, name: str, interface: Optional[type] = None):
+        self.name = name
+        self.interface = interface
+        self._channel: Optional[T] = None
+
+    def bind(self, channel: T) -> None:
+        """Bind the port to ``channel`` (exactly once)."""
+        if self._channel is not None:
+            raise PortBindingError(f"port {self.name!r} is already bound")
+        if self.interface is not None and not isinstance(channel, self.interface):
+            raise PortBindingError(
+                f"port {self.name!r} expects {self.interface.__name__}, "
+                f"got {type(channel).__name__}"
+            )
+        self._channel = channel
+
+    def rebind(self, channel: T) -> None:
+        """Replace the binding — used by architecture transformations."""
+        if self.interface is not None and not isinstance(channel, self.interface):
+            raise PortBindingError(
+                f"port {self.name!r} expects {self.interface.__name__}, "
+                f"got {type(channel).__name__}"
+            )
+        self._channel = channel
+
+    @property
+    def bound(self) -> bool:
+        return self._channel is not None
+
+    @property
+    def channel(self) -> T:
+        if self._channel is None:
+            raise PortBindingError(f"port {self.name!r} used before binding")
+        return self._channel
+
+    def __getattr__(self, item: str):
+        # Only called for attributes not found normally: forward to channel.
+        if item.startswith("_"):
+            raise AttributeError(item)
+        return getattr(self.channel, item)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        target = type(self._channel).__name__ if self._channel is not None else "unbound"
+        return f"Port({self.name!r} -> {target})"

@@ -1,0 +1,217 @@
+"""The event-driven simulation scheduler.
+
+Implements SystemC's two-phase (evaluate/update) delta-cycle semantics:
+
+1. *Evaluate*: run every ready process until it suspends.
+2. *Update*: apply buffered primitive-channel writes (signals).
+3. Delta notifications produced by 1-2 start the next delta cycle at the
+   same simulated time; when no deltas remain, time advances to the next
+   timed notification.
+
+The scheduler also keeps the activity counters (process activations,
+delta cycles, simulated time) that the Vista-style performance layer and
+the level benchmarks read out.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Callable, Generator, Optional
+
+from repro.kernel.events import Event
+from repro.kernel.process import Process, ProcessState
+from repro.kernel.simtime import format_time
+
+
+class SimulationError(RuntimeError):
+    """Raised when a process fails or the kernel detects an invalid state."""
+
+
+class Simulator:
+    """Event-driven simulator with delta-cycle semantics.
+
+    Typical use::
+
+        sim = Simulator()
+        fifo = Fifo("pipe", sim, capacity=4)
+        sim.spawn("producer", producer(sim, fifo))
+        sim.spawn("consumer", consumer(sim, fifo))
+        sim.run()
+    """
+
+    def __init__(self, name: str = "sim"):
+        self.name = name
+        self.now_ps: int = 0
+        self.delta_count: int = 0
+        self.activation_count: int = 0
+        self._seq = 0
+        #: timed actions: (time_ps, seq, callable)
+        self._timed: list[tuple[int, int, Callable[[], None]]] = []
+        #: processes ready in the current evaluate phase
+        self._ready: deque[Process] = deque()
+        #: callables to run at the next delta cycle (event fires)
+        self._next_delta: deque[Callable[[], None]] = deque()
+        #: channels with buffered writes awaiting the update phase
+        self._update_queue: list = []
+        self._update_set: set[int] = set()
+        self.processes: list[Process] = []
+        self._failure: Optional[tuple[Process, BaseException]] = None
+        self._running = False
+        self._stop_requested = False
+
+    # -- construction helpers --------------------------------------------------
+
+    def event(self, name: str = "event") -> Event:
+        """Create an :class:`Event` attached to this simulator."""
+        return Event(name, self)
+
+    def spawn(self, name: str, generator: Generator) -> Process:
+        """Register a new process; it first runs at time zero (or now)."""
+        if not hasattr(generator, "send"):
+            raise TypeError(
+                f"spawn({name!r}) expects a generator; got {type(generator).__name__}. "
+                "Process functions must contain at least one yield."
+            )
+        proc = Process(name, self, generator)
+        self.processes.append(proc)
+        self._schedule_run(proc)
+        return proc
+
+    # -- scheduler internals -----------------------------------------------------
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def _schedule_run(self, proc: Process) -> None:
+        self._ready.append(proc)
+
+    def _schedule_resume(self, proc: Process, delay_ps: int) -> None:
+        if delay_ps == 0:
+            # A zero-time wait still yields to the next delta cycle.
+            self._next_delta.append(lambda: self._resume(proc))
+        else:
+            heapq.heappush(
+                self._timed, (self.now_ps + delay_ps, self._next_seq(), lambda: self._resume(proc))
+            )
+
+    def _resume(self, proc: Process) -> None:
+        if proc.state is ProcessState.WAITING:
+            proc._resume_value = None
+            proc._make_ready()
+
+    def _schedule_event_fire(self, event: Event, delay_ps: int) -> None:
+        expected = self.now_ps + delay_ps
+
+        def fire() -> None:
+            # Skip stale notifications (cancelled or superseded by an
+            # earlier one; SystemC earliest-wins semantics).
+            if event._pending_ps == expected:
+                event._fire()
+
+        if delay_ps == 0:
+            self._next_delta.append(fire)
+        else:
+            heapq.heappush(self._timed, (expected, self._next_seq(), fire))
+
+    def _request_update(self, channel) -> None:
+        if id(channel) not in self._update_set:
+            self._update_set.add(id(channel))
+            self._update_queue.append(channel)
+
+    def _on_process_failure(self, proc: Process, exc: BaseException) -> None:
+        if self._failure is None:
+            self._failure = (proc, exc)
+        self._stop_requested = True
+
+    # -- run loop ------------------------------------------------------------------
+
+    def run(self, until_ps: Optional[int] = None, max_deltas_per_step: int = 100_000) -> int:
+        """Run until no activity remains or simulated time exceeds ``until_ps``.
+
+        Returns the final simulated time in picoseconds.  Raises
+        :class:`SimulationError` if a process raised, or if a single
+        timestep spins for more than ``max_deltas_per_step`` delta cycles
+        (a combinational loop / livelock guard).
+        """
+        self._running = True
+        self._stop_requested = False
+        try:
+            while not self._stop_requested:
+                deltas_here = 0
+                # Delta loop at the current time point.
+                while self._ready or self._next_delta or self._update_queue:
+                    if self._stop_requested:
+                        break
+                    # Evaluate phase.
+                    while self._ready:
+                        proc = self._ready.popleft()
+                        if proc.state is ProcessState.READY:
+                            self.activation_count += 1
+                            proc._step()
+                            if self._stop_requested:
+                                break
+                    # Update phase.
+                    if self._update_queue:
+                        updates, self._update_queue = self._update_queue, []
+                        self._update_set.clear()
+                        for channel in updates:
+                            channel._update()
+                    # Delta notifications begin the next delta cycle.
+                    if self._next_delta:
+                        fires, self._next_delta = self._next_delta, deque()
+                        for fire in fires:
+                            fire()
+                    self.delta_count += 1
+                    deltas_here += 1
+                    if deltas_here > max_deltas_per_step:
+                        raise SimulationError(
+                            f"more than {max_deltas_per_step} delta cycles at "
+                            f"t={format_time(self.now_ps)}: livelock or "
+                            "combinational loop"
+                        )
+                if self._stop_requested:
+                    break
+                # Advance time.
+                if not self._timed:
+                    break
+                next_ps = self._timed[0][0]
+                if until_ps is not None and next_ps > until_ps:
+                    self.now_ps = until_ps
+                    break
+                self.now_ps = next_ps
+                while self._timed and self._timed[0][0] == next_ps:
+                    __, __, action = heapq.heappop(self._timed)
+                    action()
+        finally:
+            self._running = False
+        if self._failure is not None:
+            proc, exc = self._failure
+            raise SimulationError(
+                f"process {proc.name!r} failed at t={format_time(self.now_ps)}: {exc!r}"
+            ) from exc
+        return self.now_ps
+
+    def stop(self) -> None:
+        """Request the run loop to stop at the next opportunity (sc_stop)."""
+        self._stop_requested = True
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def starved_processes(self) -> list[Process]:
+        """Processes still waiting when the simulation ran out of events.
+
+        A non-empty list after :meth:`run` returns (without ``until_ps``)
+        indicates a deadlock or starvation; the LPV verification layer
+        proves the absence of these situations statically.
+        """
+        return [p for p in self.processes if p.state is ProcessState.WAITING]
+
+    def describe(self) -> str:
+        """One-line activity summary used by the flow reports."""
+        return (
+            f"{self.name}: t={format_time(self.now_ps)} deltas={self.delta_count} "
+            f"activations={self.activation_count} processes={len(self.processes)}"
+        )

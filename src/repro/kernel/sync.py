@@ -1,0 +1,118 @@
+"""Synchronisation channels: mutex and semaphore.
+
+SystemC ships ``sc_mutex`` and ``sc_semaphore`` alongside the FIFO; the
+platform layer uses the same primitives to model exclusive resources
+(the bus grant is a specialised mutex) and pooled resources (DMA
+channels, bus-bridge credits).  Blocking operations are generators used
+with ``yield from``, like the FIFO's.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.kernel.events import wait
+from repro.kernel.scheduler import Simulator
+
+
+class Mutex:
+    """An exclusive lock with FIFO granting.
+
+    >>> # inside a process:
+    >>> # yield from mutex.lock()
+    >>> # ... critical section ...
+    >>> # mutex.unlock()
+    """
+
+    def __init__(self, name: str, sim: Simulator):
+        self.name = name
+        self.sim = sim
+        self._locked = False
+        self._waiters: deque = deque()
+        self.lock_count = 0
+        self.contended_count = 0
+
+    def try_lock(self) -> bool:
+        """Non-blocking acquire; True on success."""
+        if self._locked:
+            return False
+        self._locked = True
+        self.lock_count += 1
+        return True
+
+    def lock(self):
+        """Blocking acquire (generator; use with ``yield from``).
+
+        Granting is FIFO and by *direct hand-off*: the lock is never
+        observably free between a release and the next waiter's resume,
+        so a concurrent :meth:`try_lock` cannot barge in.
+        """
+        if self._locked or self._waiters:
+            self.contended_count += 1
+            gate = self.sim.event(f"{self.name}.grant")
+            self._waiters.append(gate)
+            yield wait(gate)
+            # Ownership was handed to us by unlock(); _locked stayed True.
+            self.lock_count += 1
+            return
+        self._locked = True
+        self.lock_count += 1
+
+    def unlock(self) -> None:
+        """Release; hands the lock to the oldest waiter, if any."""
+        if not self._locked:
+            raise RuntimeError(f"mutex {self.name!r} unlocked while free")
+        if self._waiters:
+            # Direct hand-off: the lock remains held, ownership transfers.
+            self._waiters.popleft().notify_immediate()
+        else:
+            self._locked = False
+
+    @property
+    def locked(self) -> bool:
+        return self._locked
+
+
+class Semaphore:
+    """A counting semaphore with FIFO wakeup.
+
+    ``value`` is the number of concurrently available resources.
+    """
+
+    def __init__(self, name: str, sim: Simulator, value: int):
+        if value < 0:
+            raise ValueError(f"semaphore {name!r}: negative initial value")
+        self.name = name
+        self.sim = sim
+        self._value = value
+        self._waiters: deque = deque()
+        self.wait_count = 0
+        self.post_count = 0
+
+    def try_wait(self) -> bool:
+        """Non-blocking P(); True on success."""
+        if self._value == 0:
+            return False
+        self._value -= 1
+        self.wait_count += 1
+        return True
+
+    def acquire(self):
+        """Blocking P() (generator; use with ``yield from``)."""
+        while self._value == 0:
+            gate = self.sim.event(f"{self.name}.post")
+            self._waiters.append(gate)
+            yield wait(gate)
+        self._value -= 1
+        self.wait_count += 1
+
+    def release(self) -> None:
+        """V(): return one unit and wake the oldest waiter."""
+        self._value += 1
+        self.post_count += 1
+        if self._waiters:
+            self._waiters.popleft().notify_immediate()
+
+    @property
+    def value(self) -> int:
+        return self._value

@@ -1,0 +1,116 @@
+"""Timing annotation.
+
+Converts profiled work into simulated durations:
+
+- **SW tasks**: fully automatic, from the CPU model's cycle table —
+  *"cycle accurate timing of SW can be automatically extracted by Vista
+  based on a library of models of available processors. Annotation into
+  SystemC models of SW part is fully automated."*
+- **HW tasks**: manual, from designer-supplied throughput assumptions —
+  *"Annotation is manual for HW models. Reasonable assumptions on HW
+  timing rely on designer's experience."*
+
+The annotator also honours *debug-only* markers: code added for
+debugging (printf/file I/O in the paper) executes functionally but is
+skipped for timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.platform.cpu import CpuModel
+from repro.platform.profiler import Profile
+from repro.platform.taskgraph import AppGraph
+
+
+#: Default HW datapath: ops completed per cycle by a dedicated block.
+DEFAULT_HW_OPS_PER_CYCLE = 8.0
+#: Default HW clock (same 50 MHz domain as the bus in the case study).
+DEFAULT_HW_CYCLE_PS = 20_000
+
+
+@dataclass(frozen=True)
+class AnnotatedTask:
+    """Per-firing timing of one task on its assigned resource."""
+
+    name: str
+    side: str  # "sw" | "hw"
+    time_per_firing_ps: int
+    cycles_per_firing: int
+    debug_only_ops: int = 0  # executed but not timed
+
+
+class TimingAnnotator:
+    """Produces :class:`AnnotatedTask` records for a partitioned graph."""
+
+    def __init__(
+        self,
+        cpu: CpuModel,
+        hw_ops_per_cycle: float = DEFAULT_HW_OPS_PER_CYCLE,
+        hw_cycle_ps: int = DEFAULT_HW_CYCLE_PS,
+    ):
+        if hw_ops_per_cycle <= 0:
+            raise ValueError("hw_ops_per_cycle must be positive")
+        self.cpu = cpu
+        self.hw_ops_per_cycle = hw_ops_per_cycle
+        self.hw_cycle_ps = hw_cycle_ps
+        #: per-task manual HW overrides (designer experience), ps per firing
+        self.hw_overrides_ps: dict[str, int] = {}
+        #: per-task ops marked as debug-only (excluded from timing)
+        self.debug_ops: dict[str, int] = {}
+
+    def override_hw_latency(self, task_name: str, latency_ps: int) -> None:
+        """Manual HW annotation for one task (designer-supplied)."""
+        if latency_ps < 0:
+            raise ValueError("latency must be non-negative")
+        self.hw_overrides_ps[task_name] = latency_ps
+
+    def mark_debug_ops(self, task_name: str, ops: int) -> None:
+        """Declare ``ops`` of the task's work as debug-only (not timed)."""
+        self.debug_ops[task_name] = ops
+
+    # -- annotation ------------------------------------------------------------
+
+    def annotate_sw(self, task_name: str, ops_per_firing: float) -> AnnotatedTask:
+        """Automatic SW annotation from the CPU model."""
+        debug = self.debug_ops.get(task_name, 0)
+        timed_ops = max(0, round(ops_per_firing) - debug)
+        cycles = self.cpu.cycles_for_ops(timed_ops) if timed_ops else 0
+        return AnnotatedTask(
+            name=task_name,
+            side="sw",
+            time_per_firing_ps=cycles * self.cpu.cycle_ps,
+            cycles_per_firing=cycles,
+            debug_only_ops=debug,
+        )
+
+    def annotate_hw(self, task_name: str, ops_per_firing: float) -> AnnotatedTask:
+        """HW annotation: manual override if given, else throughput model."""
+        override = self.hw_overrides_ps.get(task_name)
+        if override is not None:
+            cycles = max(1, override // self.hw_cycle_ps)
+            return AnnotatedTask(task_name, "hw", override, cycles)
+        cycles = max(1, round(ops_per_firing / self.hw_ops_per_cycle))
+        return AnnotatedTask(task_name, "hw", cycles * self.hw_cycle_ps, cycles)
+
+    def annotate(
+        self,
+        graph: AppGraph,
+        profile: Profile,
+        sw_tasks: set[str],
+        hw_tasks: set[str],
+    ) -> dict[str, AnnotatedTask]:
+        """Annotate every task according to its partition side."""
+        unknown = (sw_tasks | hw_tasks) - set(graph.tasks)
+        if unknown:
+            raise ValueError(f"annotating unknown tasks: {sorted(unknown)}")
+        annotations: dict[str, AnnotatedTask] = {}
+        for name in graph.tasks:
+            ops = profile.tasks[name].ops_per_firing if name in profile.tasks else 0.0
+            if name in hw_tasks:
+                annotations[name] = self.annotate_hw(name, ops)
+            else:
+                annotations[name] = self.annotate_sw(name, ops)
+        return annotations

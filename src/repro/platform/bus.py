@@ -1,0 +1,152 @@
+"""Arbitrated shared bus (AMBA AHB-like, transaction level).
+
+The paper's level-2 architecture connects the CPU model and all HW parts
+to a *connection resource* — an AMBA bus in the actual design.  At level
+3 the same bus additionally carries FPGA bitstream downloads, whose cost
+is the central performance concern of the reconfigurable flow.
+
+The model is cycle-approximate: each transaction occupies the bus for an
+arbitration + address phase and one data beat per word.  Masters are
+granted in FIFO request order (fair arbiter), which keeps simulations
+deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.kernel.events import wait
+from repro.kernel.scheduler import Simulator
+from repro.kernel.simtime import SEC
+from repro.tlm.router import AddressMap
+from repro.tlm.transaction import Response, Transaction
+
+
+@dataclass
+class BusStats:
+    """Traffic accounting used by exploration and the level-3 reports."""
+
+    busy_ps: int = 0
+    transactions: int = 0
+    words: int = 0
+    words_by_origin: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    words_by_kind: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    wait_ps_total: int = 0
+    decode_errors: int = 0
+
+    def utilization(self, elapsed_ps: int) -> float:
+        """Fraction of elapsed time the bus was transferring data."""
+        if elapsed_ps <= 0:
+            return 0.0
+        return min(1.0, self.busy_ps / elapsed_ps)
+
+
+class Bus:
+    """A single shared bus with an address map and fair FIFO arbitration.
+
+    Targets register with :meth:`attach`; masters issue through
+    ``yield from bus.transport(txn)``.  The per-word beat time derives
+    from ``frequency_hz`` and ``data_width_bits`` (one word per cycle).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        sim: Simulator,
+        frequency_hz: int = 50_000_000,
+        data_width_bits: int = 32,
+        arbitration_cycles: int = 1,
+        address_cycles: int = 1,
+    ):
+        if frequency_hz <= 0:
+            raise ValueError(f"bus {name!r}: frequency must be positive")
+        self.name = name
+        self.sim = sim
+        self.frequency_hz = frequency_hz
+        self.data_width_bits = data_width_bits
+        self.arbitration_cycles = arbitration_cycles
+        self.address_cycles = address_cycles
+        self.address_map = AddressMap()
+        self._targets: dict[str, object] = {}
+        self.stats = BusStats()
+        self._busy = False
+        self._grant_queue: deque = deque()
+
+    @property
+    def cycle_ps(self) -> int:
+        return max(1, round(SEC / self.frequency_hz))
+
+    # -- construction ---------------------------------------------------------
+
+    def attach(self, slave_name: str, base: int, size: int, target) -> None:
+        """Map ``[base, base+size)`` to ``target`` (anything with transport())."""
+        if not hasattr(target, "transport"):
+            raise TypeError(f"bus slave {slave_name!r} has no transport()")
+        self.address_map.add(base, size, slave_name)
+        self._targets[slave_name] = target
+
+    # -- arbitration -----------------------------------------------------------
+
+    def _acquire(self):
+        if self._busy or self._grant_queue:
+            gate = self.sim.event(f"{self.name}.grant")
+            self._grant_queue.append(gate)
+            yield wait(gate)
+        self._busy = True
+
+    def _release(self) -> None:
+        self._busy = False
+        if self._grant_queue:
+            self._grant_queue.popleft().notify_immediate()
+
+    # -- transport ------------------------------------------------------------------
+
+    def transport(self, txn: Transaction):
+        """Carry ``txn`` to the decoded slave (use with ``yield from``)."""
+        txn.issue_ps = self.sim.now_ps
+        request_ps = self.sim.now_ps
+        yield from self._acquire()
+        self.stats.wait_ps_total += self.sim.now_ps - request_ps
+        try:
+            word_bytes = self.data_width_bits // 8
+            rng = self.address_map.decode_burst(txn.address, txn.burst_len, word_bytes)
+            if rng is None:
+                txn.response = Response.DECODE_ERROR
+                self.stats.decode_errors += 1
+                txn.complete_ps = self.sim.now_ps
+                return txn
+            occupancy_start = self.sim.now_ps
+            overhead_cycles = self.arbitration_cycles + self.address_cycles
+            yield wait((overhead_cycles + txn.burst_len) * self.cycle_ps)
+            target = self._targets[rng.slave_name]
+            yield from target.transport(txn)
+            if txn.response is Response.INCOMPLETE:
+                txn.response = Response.OK
+            txn.complete_ps = self.sim.now_ps
+            self.stats.busy_ps += self.sim.now_ps - occupancy_start
+            self.stats.transactions += 1
+            self.stats.words += txn.burst_len
+            self.stats.words_by_origin[txn.origin] += txn.burst_len
+            self.stats.words_by_kind[txn.kind] += txn.burst_len
+        finally:
+            self._release()
+        return txn
+
+    # -- reporting -------------------------------------------------------------------
+
+    def loading_report(self, elapsed_ps: Optional[int] = None) -> dict:
+        """Bus-loading summary: utilization and per-class word counts."""
+        elapsed = elapsed_ps if elapsed_ps is not None else self.sim.now_ps
+        return {
+            "bus": self.name,
+            "transactions": self.stats.transactions,
+            "words": self.stats.words,
+            "busy_ps": self.stats.busy_ps,
+            "utilization": self.stats.utilization(elapsed),
+            "wait_ps_total": self.stats.wait_ps_total,
+            "words_by_origin": dict(self.stats.words_by_origin),
+            "words_by_kind": dict(self.stats.words_by_kind),
+            "decode_errors": self.stats.decode_errors,
+        }

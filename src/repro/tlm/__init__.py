@@ -1,0 +1,31 @@
+"""Transaction-level modelling layer.
+
+Implements the communication style the paper's Vista tool provides on top
+of SystemC: *communication is completely separated from computation, and
+the focus is on the data rather than on the way the transfer is executed*
+(Section 2).
+
+- :class:`~repro.tlm.transaction.Transaction` — a generic bus payload
+  (command, address, data words, burst length).
+- :class:`~repro.tlm.sockets.InitiatorSocket` /
+  :class:`~repro.tlm.sockets.TargetSocket` — blocking-transport binding
+  points between masters and interconnect.
+- :class:`~repro.tlm.router.AddressMap` — address decoding for routing
+  transactions to targets.
+"""
+
+from repro.tlm.transaction import Command, Response, Transaction
+from repro.tlm.sockets import InitiatorSocket, TargetSocket, TransportError
+from repro.tlm.router import AddressMap, AddressRange, DecodeError
+
+__all__ = [
+    "Command",
+    "Response",
+    "Transaction",
+    "InitiatorSocket",
+    "TargetSocket",
+    "TransportError",
+    "AddressMap",
+    "AddressRange",
+    "DecodeError",
+]

@@ -1,0 +1,89 @@
+"""Initiator and target sockets (blocking transport).
+
+A target registers a *transport generator*: a generator function taking a
+:class:`~repro.tlm.transaction.Transaction` and yielding kernel wait
+requests while it services the transfer.  An initiator calls
+``yield from socket.transport(txn)`` and resumes when the transfer is
+complete, with the transaction's response and timing filled in.
+
+This is the blocking-transport (``b_transport``) subset of TLM, which is
+all the paper's Vista flow uses: *the focus is on the data rather than on
+the way the transfer is executed*.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional
+
+from repro.tlm.transaction import Response, Transaction
+
+
+class TransportError(RuntimeError):
+    """Raised on structural socket misuse (unbound, double bind)."""
+
+
+class TargetSocket:
+    """Target-side binding point wrapping a transport implementation."""
+
+    def __init__(self, name: str, transport_fn: Callable[[Transaction], Generator]):
+        self.name = name
+        self._transport_fn = transport_fn
+        self.served_count = 0
+
+    def transport(self, txn: Transaction):
+        """Service ``txn`` (generator; use with ``yield from``)."""
+        self.served_count += 1
+        result = yield from self._transport_fn(txn)
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"TargetSocket({self.name!r}, served={self.served_count})"
+
+
+class InitiatorSocket:
+    """Initiator-side binding point.
+
+    Bound either directly to a :class:`TargetSocket` (point-to-point) or
+    to an interconnect exposing the same ``transport`` generator
+    interface (e.g. :class:`repro.platform.bus.Bus`).
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self._target: Optional[TargetSocket] = None
+        self.issued_count = 0
+
+    def bind(self, target) -> None:
+        if self._target is not None:
+            raise TransportError(f"initiator socket {self.name!r} already bound")
+        if not hasattr(target, "transport"):
+            raise TransportError(
+                f"initiator socket {self.name!r}: bind target has no transport()"
+            )
+        self._target = target
+
+    def rebind(self, target) -> None:
+        """Replace the binding — used by architecture transformations."""
+        if not hasattr(target, "transport"):
+            raise TransportError(
+                f"initiator socket {self.name!r}: rebind target has no transport()"
+            )
+        self._target = target
+
+    @property
+    def bound(self) -> bool:
+        return self._target is not None
+
+    def transport(self, txn: Transaction):
+        """Issue ``txn`` to the bound target (use with ``yield from``)."""
+        if self._target is None:
+            raise TransportError(f"initiator socket {self.name!r} used before binding")
+        self.issued_count += 1
+        result = yield from self._target.transport(txn)
+        if txn.response is Response.INCOMPLETE:
+            txn.response = Response.OK
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        bound = self._target.name if self._target is not None else "unbound"
+        return f"InitiatorSocket({self.name!r} -> {bound})"

@@ -1,0 +1,43 @@
+"""Laerte++: high-level ATPG for behavioural descriptions [5].
+
+*"Functional verification is applied by using a SystemC-based ATPG
+(Laerte++) to estimate the coverage of test benches.  The test pattern
+generator exploits both simulation-based techniques (e.g., genetic
+algorithms) and formal-based ones (e.g., SAT-solvers).  Coverage
+measures are based on standard metrics (statement, condition and branch
+coverage) and on the more accurate bit-coverage metric exploiting
+high-level faults [6]."* (Section 3.1)
+
+- :mod:`~repro.verify.atpg.faults` — the high-level bit fault model
+  (stuck-at on each bit of each assignment's produced value) and fault
+  simulation;
+- :mod:`~repro.verify.atpg.coverage` — the four coverage metrics;
+- :mod:`~repro.verify.atpg.genetic` — GA-based vector generation;
+- :mod:`~repro.verify.atpg.sat_tpg` — SAT-based generation for
+  hard-to-reach branches via symbolic path conditions;
+- :mod:`~repro.verify.atpg.laerte` — the campaign driver combining all
+  phases, including the memory-initialisation inspection used at level 1
+  of the case study.
+"""
+
+from repro.verify.atpg.faults import BitFault, FaultSimResult, enumerate_faults, simulate_fault
+from repro.verify.atpg.coverage import CoverageReport, CoverageTotals, measure_coverage
+from repro.verify.atpg.genetic import GaConfig, GeneticGenerator
+from repro.verify.atpg.sat_tpg import SatTpg, SatTpgError
+from repro.verify.atpg.laerte import CampaignReport, Laerte
+
+__all__ = [
+    "BitFault",
+    "FaultSimResult",
+    "enumerate_faults",
+    "simulate_fault",
+    "CoverageReport",
+    "CoverageTotals",
+    "measure_coverage",
+    "GaConfig",
+    "GeneticGenerator",
+    "SatTpg",
+    "SatTpgError",
+    "CampaignReport",
+    "Laerte",
+]

@@ -1,0 +1,280 @@
+"""SAT-based bounded model checking of RTL netlists.
+
+Unrolls the netlist's transition relation ``k`` steps into CNF
+(bit-blasting every expression at the netlist's uniform word width,
+matching interpreted simulation exactly) and asks the CDCL solver for a
+step violating an invariant.  A SAT answer yields a concrete
+counter-example trace (register/input values per step); UNSAT up to
+``k`` is a bounded proof.
+
+Invariants are conjunctions of atomic predicates ``signal <op> const``
+over netlist signals — the property shape the paper's level-4 interface
+checks use (``AG (handshake consistent)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.rtl.netlist import (
+    BinExpr,
+    ConstExpr,
+    Expr,
+    MuxExpr,
+    Netlist,
+    SigExpr,
+    UnExpr,
+)
+from repro.verify.cnf import BitVector, Cnf
+from repro.verify.sat import SatResult
+
+
+@dataclass
+class BmcResult:
+    """Outcome of one bounded check."""
+
+    property_text: str
+    bound: int
+    violated: bool
+    #: step-indexed signal valuations when violated
+    trace: list[dict[str, int]] = field(default_factory=list)
+    solver_result: SatResult = SatResult.UNSAT
+
+    @property
+    def holds_up_to_bound(self) -> bool:
+        return not self.violated and self.solver_result is not SatResult.UNKNOWN
+
+    def describe(self) -> str:
+        if self.violated:
+            lines = [
+                f"BMC: {self.property_text} VIOLATED at bound {self.bound}",
+                "  counter-example:",
+            ]
+            for i, step in enumerate(self.trace):
+                shown = {k: step[k] for k in sorted(step)}
+                lines.append(f"    cycle {i}: {shown}")
+            return "\n".join(lines)
+        return f"BMC: {self.property_text} holds for all traces of length <= {self.bound}"
+
+
+_OPS = ("==", "!=", "<", "<=", ">", ">=")
+
+
+class BoundedModelChecker:
+    """BMC engine for one netlist."""
+
+    def __init__(self, netlist: Netlist):
+        netlist.validate()
+        self.netlist = netlist
+        self.word = netlist.word_width
+
+    # -- expression bit-blasting ---------------------------------------------------
+
+    def _blast(self, expr: Expr, env: dict[str, BitVector], cnf: Cnf) -> BitVector:
+        word = self.word
+        if isinstance(expr, ConstExpr):
+            value = expr.value & ((1 << expr.width) - 1)
+            return BitVector.constant(cnf, value, word)
+        if isinstance(expr, SigExpr):
+            return env[expr.name]
+        if isinstance(expr, UnExpr):
+            operand = self._blast(expr.operand, env, cnf)
+            if expr.op == "~":
+                return operand.bit_not()
+            bit = operand.is_zero()
+            return self._bool_to_vec(bit, cnf)
+        if isinstance(expr, MuxExpr):
+            sel = self._blast(expr.sel, env, cnf).is_nonzero()
+            then = self._blast(expr.then, env, cnf)
+            other = self._blast(expr.other, env, cnf)
+            return then.ite(sel, other)
+        if isinstance(expr, BinExpr):
+            left = self._blast(expr.left, env, cnf)
+            right = self._blast(expr.right, env, cnf)
+            return self._blast_binop(expr.op, left, right, expr.right, cnf)
+        raise TypeError(f"cannot bit-blast {expr!r}")  # pragma: no cover
+
+    def _blast_binop(self, op: str, left: BitVector, right: BitVector,
+                     right_expr: Expr, cnf: Cnf) -> BitVector:
+        if op == "+":
+            return left.add(right)
+        if op == "-":
+            return left.sub(right)
+        if op == "*":
+            return left.mul(right)
+        if op == "&":
+            return left.bit_and(right)
+        if op == "|":
+            return left.bit_or(right)
+        if op == "^":
+            return left.bit_xor(right)
+        if op in ("<<", ">>"):
+            if not isinstance(right_expr, ConstExpr):
+                raise TypeError("BMC supports shifts by constants only")
+            amount = right_expr.value
+            if op == "<<":
+                return left.shift_left_const(amount)
+            return left.shift_right_const(amount, arithmetic=False)
+        if op == "==":
+            return self._bool_to_vec(left.eq(right), cnf)
+        if op == "!=":
+            return self._bool_to_vec(left.ne(right), cnf)
+        if op == "<":
+            return self._bool_to_vec(self._lt_unsigned(left, right, cnf), cnf)
+        if op == "<=":
+            lt = self._lt_unsigned(left, right, cnf)
+            return self._bool_to_vec(cnf.gate_or(lt, left.eq(right)), cnf)
+        raise TypeError(f"cannot bit-blast operator {op!r}")  # pragma: no cover
+
+    def _lt_unsigned(self, left: BitVector, right: BitVector, cnf: Cnf) -> int:
+        """Unsigned comparison via MSB-first prefix equality."""
+        result = cnf.false_lit
+        prefix_eq = cnf.true_lit
+        for a, b in zip(reversed(left.bits), reversed(right.bits)):
+            here = cnf.gate_and(prefix_eq, cnf.gate_and(-a, b))
+            result = cnf.gate_or(result, here)
+            prefix_eq = cnf.gate_and(prefix_eq, cnf.gate_eq(a, b))
+        return result
+
+    def _bool_to_vec(self, bit: int, cnf: Cnf) -> BitVector:
+        bits = [bit] + [cnf.false_lit] * (self.word - 1)
+        return BitVector(cnf, bits)
+
+    # -- unrolling ------------------------------------------------------------------------
+
+    def _frame(self, cnf: Cnf, regs: dict[str, BitVector]
+               ) -> tuple[dict[str, BitVector], dict[str, BitVector]]:
+        """One time frame: free inputs + wires; returns (env, next regs)."""
+        env: dict[str, BitVector] = dict(regs)
+        for name, width in self.netlist.inputs.items():
+            vec = BitVector.fresh(cnf, self.word)
+            # Constrain bits above the declared input width to zero.
+            for bit in vec.bits[width:]:
+                cnf.assert_lit(-bit)
+            env[name] = vec
+        for name in self.netlist.wire_order():
+            width, expr = self.netlist.wires[name]
+            value = self._blast(expr, env, cnf)
+            env[name] = self._truncate(value, width, cnf)
+        nxt: dict[str, BitVector] = {}
+        for reg in self.netlist.registers.values():
+            value = self._blast(reg.next_expr, env, cnf)
+            nxt[reg.name] = self._truncate(value, reg.width, cnf)
+        return env, nxt
+
+    def _truncate(self, vec: BitVector, width: int, cnf: Cnf) -> BitVector:
+        if width >= self.word:
+            return vec
+        bits = vec.bits[:width] + [cnf.false_lit] * (self.word - width)
+        return BitVector(cnf, bits)
+
+    # -- checking ----------------------------------------------------------------------------
+
+    def check_invariant(
+        self,
+        atoms: list[tuple[str, str, int]],
+        bound: int,
+        max_conflicts: int = 2_000_000,
+    ) -> BmcResult:
+        """Check the invariant ``AND(signal op const)`` for ``bound`` steps."""
+        return self.check_invariant_clauses([[a] for a in atoms], bound,
+                                            max_conflicts)
+
+    def check_invariant_clauses(
+        self,
+        clauses: list[list[tuple[str, str, int]]],
+        bound: int,
+        max_conflicts: int = 2_000_000,
+    ) -> BmcResult:
+        """Check an invariant in CNF over atoms: AND over clauses of
+        OR over ``(signal, op, const)`` atoms.
+
+        Implications are written as clauses: ``a -> b`` is
+        ``[negate(a), b]``.  Returns a violation trace if some reachable
+        step within the bound falsifies any clause.
+        """
+        for clause in clauses:
+            if not clause:
+                raise ValueError("empty clause is unsatisfiable")
+            for name, op, __ in clause:
+                if op not in _OPS:
+                    raise ValueError(f"bad operator {op!r}")
+                self.netlist.width_of(name)  # raises on unknown signal
+        text = " && ".join(
+            "(" + " || ".join(f"{n} {op} {v}" for n, op, v in clause) + ")"
+            if len(clause) > 1 else
+            " || ".join(f"{n} {op} {v}" for n, op, v in clause)
+            for clause in clauses
+        )
+
+        cnf = Cnf()
+        regs: dict[str, BitVector] = {}
+        for reg in self.netlist.registers.values():
+            vec = BitVector.constant(cnf, reg.reset, self.word)
+            regs[reg.name] = vec
+        violation_lits: list[int] = []
+        frames: list[dict[str, BitVector]] = []
+        for __ in range(bound + 1):
+            env, next_regs = self._frame(cnf, regs)
+            frames.append(env)
+            violation_lits.append(self._violation_lit_clauses(clauses, env, cnf))
+            regs = next_regs
+        cnf.add_clause(violation_lits)
+
+        result, model = cnf.solve(max_conflicts=max_conflicts)
+        if result is SatResult.UNSAT:
+            return BmcResult(text, bound, violated=False)
+        if result is SatResult.UNKNOWN:
+            return BmcResult(text, bound, violated=False,
+                             solver_result=SatResult.UNKNOWN)
+        trace = []
+        for env in frames:
+            step = {}
+            for name in list(self.netlist.inputs) + list(self.netlist.registers) \
+                    + list(self.netlist.wires):
+                vec = env[name]
+                raw = vec.value_in(model)
+                width = self.netlist.width_of(name)
+                step[name] = raw & ((1 << width) - 1)
+            trace.append(step)
+            if self._violated_in(clauses, step):
+                break
+        return BmcResult(text, bound, violated=True, trace=trace,
+                         solver_result=SatResult.SAT)
+
+    def _atom_lit(self, atom: tuple[str, str, int], env: dict[str, BitVector],
+                  cnf: Cnf) -> int:
+        name, op, value = atom
+        vec = env[name]
+        const = BitVector.constant(cnf, value & ((1 << self.word) - 1), self.word)
+        if op == "==":
+            return vec.eq(const)
+        if op == "!=":
+            return vec.ne(const)
+        if op == "<":
+            return self._lt_unsigned(vec, const, cnf)
+        if op == "<=":
+            return cnf.gate_or(self._lt_unsigned(vec, const, cnf), vec.eq(const))
+        if op == ">":
+            return self._lt_unsigned(const, vec, cnf)
+        return cnf.gate_or(self._lt_unsigned(const, vec, cnf), vec.eq(const))
+
+    def _violation_lit_clauses(self, clauses, env: dict[str, BitVector],
+                               cnf: Cnf) -> int:
+        """Literal true iff some clause is falsified in this frame."""
+        clause_violations = []
+        for clause in clauses:
+            atom_lits = [self._atom_lit(a, env, cnf) for a in clause]
+            clause_violations.append(-cnf.gate_or_many(atom_lits))
+        return cnf.gate_or_many(clause_violations)
+
+    @staticmethod
+    def _violated_in(clauses, step: dict[str, int]) -> bool:
+        import operator
+        ops = {"==": operator.eq, "!=": operator.ne, "<": operator.lt,
+               "<=": operator.le, ">": operator.gt, ">=": operator.ge}
+        return any(
+            not any(ops[op](step[name], value) for name, op, value in clause)
+            for clause in clauses
+        )

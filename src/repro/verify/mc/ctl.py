@@ -1,0 +1,152 @@
+"""CTL property language.
+
+The property vocabulary of a RuleBase-class tool, reduced to CTL:
+atomic predicates over state valuations, Boolean connectives, and the
+temporal operators EX/EG/EU (primitive) with AX/AF/AG/EF/AU derived.
+
+Atoms are predicates over the state valuation dictionary, e.g.::
+
+    Atom("done == 1", lambda v: v["done"] == 1)
+    parse_atom("state != 3")
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+class Formula:
+    """Base class of CTL formulas; ``str()`` renders the property text."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Atom(Formula):
+    text: str
+    predicate: Callable[[dict[str, int]], bool] = field(compare=False)
+
+    def __str__(self) -> str:
+        return self.text
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    operand: Formula
+
+    def __str__(self) -> str:
+        return f"!({self.operand})"
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    left: Formula
+    right: Formula
+
+    def __str__(self) -> str:
+        return f"({self.left} && {self.right})"
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    left: Formula
+    right: Formula
+
+    def __str__(self) -> str:
+        return f"({self.left} || {self.right})"
+
+
+def Implies(left: Formula, right: Formula) -> Formula:
+    """Sugar: ``left -> right``."""
+    return Or(Not(left), right)
+
+
+@dataclass(frozen=True)
+class EX(Formula):
+    operand: Formula
+
+    def __str__(self) -> str:
+        return f"EX ({self.operand})"
+
+
+@dataclass(frozen=True)
+class EG(Formula):
+    operand: Formula
+
+    def __str__(self) -> str:
+        return f"EG ({self.operand})"
+
+
+@dataclass(frozen=True)
+class EU(Formula):
+    left: Formula
+    right: Formula
+
+    def __str__(self) -> str:
+        return f"E [{self.left} U {self.right}]"
+
+
+def EF(operand: Formula) -> Formula:
+    """EF p == E [true U p]."""
+    return EU(TRUE, operand)
+
+
+def AX(operand: Formula) -> Formula:
+    """AX p == !EX !p."""
+    return Not(EX(Not(operand)))
+
+
+def AG(operand: Formula) -> Formula:
+    """AG p == !EF !p."""
+    return Not(EF(Not(operand)))
+
+
+def AF(operand: Formula) -> Formula:
+    """AF p == !EG !p."""
+    return Not(EG(Not(operand)))
+
+
+def AU(left: Formula, right: Formula) -> Formula:
+    """A [p U q] == !(E [!q U (!p && !q)] || EG !q)."""
+    return Not(Or(EU(Not(right), And(Not(left), Not(right))), EG(Not(right))))
+
+
+TRUE = Atom("true", lambda __: True)
+FALSE = Atom("false", lambda __: False)
+
+_ATOM_RE = re.compile(
+    r"^\s*(?P<name>[A-Za-z_][A-Za-z_0-9.]*)\s*"
+    r"(?P<op>==|!=|<=|>=|<|>)\s*(?P<value>-?\d+)\s*$"
+)
+
+_OPS: dict[str, Callable[[int, int], bool]] = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+def parse_atom(text: str) -> Atom:
+    """Parse ``"signal <op> constant"`` into an :class:`Atom`.
+
+    >>> parse_atom("done == 1").text
+    'done == 1'
+    """
+    match = _ATOM_RE.match(text)
+    if match is None:
+        raise ValueError(f"cannot parse atomic proposition {text!r}")
+    name = match.group("name")
+    op = _OPS[match.group("op")]
+    value = int(match.group("value"))
+
+    def predicate(valuation: dict[str, int], name=name, op=op, value=value) -> bool:
+        if name not in valuation:
+            raise KeyError(f"atomic proposition over unknown signal {name!r}")
+        return op(valuation[name], value)
+
+    return Atom(text.strip(), predicate)

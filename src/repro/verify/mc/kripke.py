@@ -1,0 +1,126 @@
+"""Kripke structures.
+
+A finite transition system over which CTL is checked.  States are
+opaque hashable objects; the labelling maps each state to the valuation
+dictionary its atomic propositions are evaluated on.
+
+:func:`kripke_from_netlist` extracts the reachable state graph of an RTL
+netlist by explicit enumeration over all input valuations (inputs of a
+few bits — the HW/SW interface FSMs the paper checks are exactly that
+size).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Optional
+
+from repro.rtl.netlist import Netlist
+
+
+@dataclass
+class KripkeStructure:
+    """Explicit transition system with state valuations."""
+
+    name: str
+    initial: list[Hashable] = field(default_factory=list)
+    transitions: dict[Hashable, list[Hashable]] = field(default_factory=dict)
+    #: state -> {variable: value} used by atomic predicates
+    valuations: dict[Hashable, dict[str, int]] = field(default_factory=dict)
+
+    def add_state(self, state: Hashable, valuation: dict[str, int],
+                  initial: bool = False) -> None:
+        if state not in self.transitions:
+            self.transitions[state] = []
+        self.valuations[state] = dict(valuation)
+        if initial and state not in self.initial:
+            self.initial.append(state)
+
+    def add_transition(self, src: Hashable, dst: Hashable) -> None:
+        if src not in self.transitions or dst not in self.transitions:
+            raise ValueError("both endpoints must be added before the transition")
+        if dst not in self.transitions[src]:
+            self.transitions[src].append(dst)
+
+    @property
+    def states(self) -> list[Hashable]:
+        return list(self.transitions)
+
+    def successors(self, state: Hashable) -> list[Hashable]:
+        return self.transitions[state]
+
+    def validate(self) -> None:
+        if not self.initial:
+            raise ValueError(f"kripke {self.name!r} has no initial states")
+        for state, succs in self.transitions.items():
+            if not succs:
+                raise ValueError(
+                    f"kripke {self.name!r}: state {state!r} has no successor; "
+                    "add a self-loop for terminal states (CTL requires total "
+                    "transition relations)"
+                )
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "states": len(self.transitions),
+            "transitions": sum(len(s) for s in self.transitions.values()),
+            "initial": len(self.initial),
+        }
+
+
+def kripke_from_netlist(
+    netlist: Netlist,
+    input_values: Optional[dict[str, list[int]]] = None,
+    max_states: int = 100_000,
+    observe: Optional[Callable[[dict[str, int]], dict[str, int]]] = None,
+) -> KripkeStructure:
+    """Reachable-state Kripke structure of an RTL netlist.
+
+    ``input_values`` lists, per input, the stimulus values the
+    environment may apply each cycle (default: all values for 1-bit
+    inputs, ``[0]`` otherwise — override for wider inputs).  The
+    valuation of a state includes every register and, for determinism of
+    atomic predicates over wires, the wire values under the *first*
+    input choice; ``observe`` may replace that projection.
+    """
+    netlist.validate()
+    input_values = dict(input_values or {})
+    for name, width in netlist.inputs.items():
+        if name not in input_values:
+            input_values[name] = [0, 1] if width == 1 else [0]
+    input_names = sorted(netlist.inputs)
+    choices = list(itertools.product(*(input_values[n] for n in input_names)))
+    if not choices:
+        raise ValueError("empty input stimulus set")
+
+    def freeze(state: dict[str, int]):
+        return tuple(sorted(state.items()))
+
+    def valuation_of(state: dict[str, int]) -> dict[str, int]:
+        first_inputs = dict(zip(input_names, choices[0]))
+        values = netlist.eval_combinational(state, first_inputs)
+        return observe(values) if observe else values
+
+    ks = KripkeStructure(f"kripke.{netlist.name}")
+    init = netlist.reset_state()
+    init_key = freeze(init)
+    ks.add_state(init_key, valuation_of(init), initial=True)
+    frontier = [init]
+    seen = {init_key}
+    while frontier:
+        if len(seen) > max_states:
+            raise ValueError(f"state space exceeds {max_states} states")
+        state = frontier.pop()
+        src_key = freeze(state)
+        for combo in choices:
+            inputs = dict(zip(input_names, combo))
+            nxt, __ = netlist.step(state, inputs)
+            dst_key = freeze(nxt)
+            if dst_key not in seen:
+                seen.add(dst_key)
+                ks.add_state(dst_key, valuation_of(nxt))
+                frontier.append(nxt)
+            ks.add_transition(src_key, dst_key)
+    ks.validate()
+    return ks

@@ -1,0 +1,38 @@
+"""PCC: the property coverage checker [13].
+
+*"Proven properties cannot completely assure the correctness of the
+design implementation, since some behaviors may have been not
+considered. ... we have developed a tool, called property coverage
+checker (PCC), that evaluates the completeness of properties by mixing
+functional and formal verification."* (Section 3.4)
+
+The mix, as in the underlying MEMOCODE'03 technique: a **high-level
+fault model** perturbs the RTL (mutations), functional simulation
+separates observable mutants from silent ones, and formal checking (BMC
+of the property set on each observable mutant) decides whether the
+properties *notice* the perturbation.  An observable mutant no property
+kills is evidence the verification plan has a hole.
+
+- :mod:`~repro.verify.pcc.mutation` — mutation operators on FSMD
+  netlists (operator swaps, constant perturbations, stuck bits, mux
+  inversions);
+- :mod:`~repro.verify.pcc.checker` — the coverage computation and the
+  report that drives the paper's "extend the property set and check the
+  new ones" loop.
+"""
+
+from repro.verify.pcc.mutation import Mutation, MutationError, enumerate_mutations
+from repro.verify.pcc.checker import (
+    MutantVerdict,
+    PccReport,
+    PropertyCoverageChecker,
+)
+
+__all__ = [
+    "Mutation",
+    "MutationError",
+    "enumerate_mutations",
+    "MutantVerdict",
+    "PccReport",
+    "PropertyCoverageChecker",
+]

@@ -1,0 +1,208 @@
+"""Property coverage computation.
+
+For every mutation of the design:
+
+1. **functional phase** — simulate original and mutant side by side on
+   random input sequences; a mutant whose observable outputs never
+   differ is *silent* (possibly equivalent) and excluded from the
+   denominator, as PCC's fault model prescribes;
+2. **formal phase** — bounded-model-check the property set on the
+   observable mutant; if every property still passes, the mutant
+   *survives*: the properties do not constrain the behaviour the
+   mutation changed.
+
+``coverage = killed / (killed + survived)``.  Survivors are reported
+with their mutation site — the designer's TODO list for new properties
+(the paper: "if it shows that not enough properties have been used, the
+designer will have to extend the set of properties").
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.rtl.netlist import Netlist
+from repro.verify.mc.bmc import BoundedModelChecker
+from repro.verify.pcc.mutation import Mutation, enumerate_mutations
+
+
+@dataclass
+class MutantVerdict:
+    """Outcome for one mutant."""
+
+    mutation: Mutation
+    observable: bool
+    killed_by: Optional[str] = None  # property text, when killed
+
+    @property
+    def survived(self) -> bool:
+        return self.observable and self.killed_by is None
+
+
+@dataclass
+class PccReport:
+    """The property-completeness verdict."""
+
+    netlist_name: str
+    properties: list[str]
+    verdicts: list[MutantVerdict] = field(default_factory=list)
+
+    @property
+    def observable_count(self) -> int:
+        return sum(1 for v in self.verdicts if v.observable)
+
+    @property
+    def killed_count(self) -> int:
+        return sum(1 for v in self.verdicts if v.killed_by is not None)
+
+    @property
+    def survivors(self) -> list[MutantVerdict]:
+        return [v for v in self.verdicts if v.survived]
+
+    @property
+    def coverage(self) -> float:
+        observable = self.observable_count
+        return self.killed_count / observable if observable else 1.0
+
+    @property
+    def complete(self) -> bool:
+        return not self.survivors
+
+    def describe(self) -> str:
+        lines = [
+            f"PCC report for {self.netlist_name}",
+            f"  properties checked: {len(self.properties)}",
+            f"  mutants: {len(self.verdicts)} total, "
+            f"{self.observable_count} observable, {self.killed_count} killed",
+            f"  property coverage: {self.coverage:.1%}",
+        ]
+        if self.survivors:
+            lines.append("  UNDETECTED mutants (missing properties):")
+            for verdict in self.survivors:
+                lines.append(f"    - {verdict.mutation.describe()}")
+        else:
+            lines.append("  property set is complete w.r.t. the fault model")
+        return "\n".join(lines)
+
+
+class PropertyCoverageChecker:
+    """Evaluates a property set's completeness on one netlist.
+
+    ``properties`` are BMC invariants in CNF-over-atoms form: each
+    property is a list of clauses, each clause a list of
+    ``(signal, op, const)`` atoms (OR within a clause, AND across
+    clauses; an implication ``a -> b`` is the clause
+    ``[negate(a), b]``).  A plain list of atom tuples is also accepted
+    and read as their conjunction.  All properties must hold on the
+    original design (checked first — PCC is only meaningful for a
+    passing verification plan).
+    """
+
+    @staticmethod
+    def _normalize(prop) -> list[list[tuple[str, str, int]]]:
+        if prop and isinstance(prop[0], tuple):
+            return [[atom] for atom in prop]
+        return [list(clause) for clause in prop]
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        properties: list[list[tuple[str, str, int]]],
+        bound: int = 8,
+        sim_sequences: int = 8,
+        sim_length: int = 24,
+        seed: int = 11,
+        mutation_limit: Optional[int] = None,
+    ):
+        netlist.validate()
+        self.netlist = netlist
+        self.properties = [self._normalize(p) for p in properties]
+        self.bound = bound
+        self.sim_sequences = sim_sequences
+        self.sim_length = sim_length
+        self.rng = random.Random(seed)
+        self.mutation_limit = mutation_limit
+        self._stimuli = self._build_stimuli()
+
+    # -- functional phase -------------------------------------------------------
+
+    def _build_stimuli(self) -> list[list[dict[str, int]]]:
+        sequences = []
+        for __ in range(self.sim_sequences):
+            sequence = []
+            for __ in range(self.sim_length):
+                step = {}
+                for name, width in self.netlist.inputs.items():
+                    step[name] = self.rng.randrange(1 << min(width, 16))
+                sequence.append(step)
+            sequences.append(sequence)
+        return sequences
+
+    def _observable_signals(self) -> list[str]:
+        if self.netlist.outputs:
+            return list(self.netlist.outputs)
+        return list(self.netlist.registers)
+
+    def _differs(self, mutant: Netlist) -> bool:
+        observed = self._observable_signals()
+        for sequence in self._stimuli:
+            state_a = self.netlist.reset_state()
+            state_b = mutant.reset_state()
+            for step in sequence:
+                state_a, values_a = self.netlist.step(state_a, step)
+                state_b, values_b = mutant.step(state_b, step)
+                if any(values_a[s] != values_b[s] for s in observed):
+                    return True
+        return False
+
+    # -- formal phase ----------------------------------------------------------------
+
+    def _killed_by(self, mutant: Netlist) -> Optional[str]:
+        checker = BoundedModelChecker(mutant)
+        for clauses in self.properties:
+            result = checker.check_invariant_clauses(clauses, self.bound)
+            if result.violated:
+                return result.property_text
+        return None
+
+    # -- main -----------------------------------------------------------------------------
+
+    def verify_baseline(self) -> None:
+        """Assert every property holds on the unmutated design."""
+        checker = BoundedModelChecker(self.netlist)
+        for clauses in self.properties:
+            result = checker.check_invariant_clauses(clauses, self.bound)
+            if result.violated:
+                raise ValueError(
+                    f"property {result.property_text!r} fails on the original "
+                    "design; fix the design before measuring property coverage"
+                )
+
+    def run(self, mutations: Optional[list[Mutation]] = None) -> PccReport:
+        """Compute property coverage over all (or given) mutations."""
+        self.verify_baseline()
+        if mutations is None:
+            mutations = enumerate_mutations(self.netlist, limit=self.mutation_limit)
+        report = PccReport(
+            netlist_name=self.netlist.name,
+            properties=[
+                " && ".join(
+                    "(" + " || ".join(f"{n} {op} {v}" for n, op, v in clause) + ")"
+                    for clause in clauses
+                )
+                for clauses in self.properties
+            ],
+        )
+        for mutation in mutations:
+            try:
+                mutant = mutation.apply(self.netlist)
+            except Exception:
+                continue  # structurally inapplicable: skip
+            observable = self._differs(mutant)
+            verdict = MutantVerdict(mutation, observable)
+            if observable:
+                verdict.killed_by = self._killed_by(mutant)
+            report.verdicts.append(verdict)
+        return report

@@ -1,0 +1,298 @@
+"""CDCL SAT solver.
+
+The formal engines of the paper's cascade (SAT-based ATPG, bounded model
+checking) need a SAT oracle; RuleBase-era industrial tools embedded
+Chaff-class solvers.  This is a compact conflict-driven solver with the
+standard ingredients: two-watched-literal propagation, first-UIP clause
+learning, activity-based (VSIDS-style) branching with decay, and
+geometric restarts.
+
+Variables are positive integers; literals are signed integers
+(``-v`` = negated ``v``).  Clauses are lists of literals.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+
+class SatResult(enum.Enum):
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class SatStats:
+    decisions: int = 0
+    propagations: int = 0
+    conflicts: int = 0
+    restarts: int = 0
+    learned: int = 0
+
+
+class SatSolver:
+    """One-shot CDCL solver: add clauses, call :meth:`solve`."""
+
+    def __init__(self, max_conflicts: int = 2_000_000):
+        self.max_conflicts = max_conflicts
+        self.clauses: list[list[int]] = []
+        self.num_vars = 0
+        self.stats = SatStats()
+        # Internal solving state (built in solve()):
+        self._assign: dict[int, bool] = {}
+        self._level: dict[int, int] = {}
+        self._reason: dict[int, Optional[list[int]]] = {}
+        self._trail: list[int] = []
+        self._trail_lim: list[int] = []
+        self._watches: dict[int, list[list[int]]] = {}
+        self._activity: dict[int, float] = {}
+        self._var_inc = 1.0
+
+    # -- construction ----------------------------------------------------------
+
+    def add_clause(self, literals: Iterable[int]) -> None:
+        clause = sorted(set(int(l) for l in literals), key=abs)
+        if not clause:
+            # Empty clause: formula trivially UNSAT; encode as two units.
+            self.clauses.append([])
+            return
+        if any(l == 0 for l in clause):
+            raise ValueError("literal 0 is not allowed")
+        if any(-l in clause for l in clause):
+            return  # tautology
+        self.num_vars = max(self.num_vars, max(abs(l) for l in clause))
+        self.clauses.append(clause)
+
+    def new_var(self) -> int:
+        self.num_vars += 1
+        return self.num_vars
+
+    # -- literal state helpers ----------------------------------------------------
+
+    def _value(self, lit: int) -> Optional[bool]:
+        var = abs(lit)
+        if var not in self._assign:
+            return None
+        value = self._assign[var]
+        return value if lit > 0 else not value
+
+    def _watch(self, lit: int, clause: list[int]) -> None:
+        self._watches.setdefault(lit, []).append(clause)
+
+    def _enqueue(self, lit: int, reason: Optional[list[int]]) -> None:
+        var = abs(lit)
+        self._assign[var] = lit > 0
+        self._level[var] = len(self._trail_lim)
+        self._reason[var] = reason
+        self._trail.append(lit)
+
+    # -- propagation -------------------------------------------------------------------
+
+    def _propagate(self, head: int) -> tuple[Optional[list[int]], int]:
+        """Unit propagation from trail index ``head``; returns (conflict, head)."""
+        while head < len(self._trail):
+            lit = self._trail[head]
+            head += 1
+            false_lit = -lit
+            watchlist = self._watches.get(false_lit, [])
+            index = 0
+            while index < len(watchlist):
+                clause = watchlist[index]
+                # Ensure false_lit is at position 1.
+                if clause[0] == false_lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._value(first) is True:
+                    index += 1
+                    continue
+                # Look for a replacement watch.
+                moved = False
+                for k in range(2, len(clause)):
+                    if self._value(clause[k]) is not False:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        self._watch(clause[1], clause)
+                        watchlist[index] = watchlist[-1]
+                        watchlist.pop()
+                        moved = True
+                        break
+                if moved:
+                    continue
+                # No replacement: clause is unit or conflicting.
+                if self._value(first) is False:
+                    return clause, head  # conflict
+                self._enqueue(first, clause)
+                self.stats.propagations += 1
+                index += 1
+        return None, head
+
+    # -- conflict analysis ------------------------------------------------------------------
+
+    def _analyze(self, conflict: list[int]) -> tuple[list[int], int]:
+        """First-UIP learning; returns (learned clause, backjump level)."""
+        current_level = len(self._trail_lim)
+        learned: list[int] = []
+        seen: set[int] = set()
+        counter = 0
+        lit_iter = list(conflict)
+        trail_index = len(self._trail) - 1
+        asserting: Optional[int] = None
+
+        while True:
+            for lit in lit_iter:
+                var = abs(lit)
+                if var in seen:
+                    continue
+                seen.add(var)
+                self._bump(var)
+                if self._level[var] == current_level:
+                    counter += 1
+                elif self._level[var] > 0:
+                    learned.append(lit)
+            # Walk the trail backwards to the next seen literal.
+            while trail_index >= 0 and abs(self._trail[trail_index]) not in seen:
+                trail_index -= 1
+            if trail_index < 0:
+                break
+            pivot = self._trail[trail_index]
+            trail_index -= 1
+            counter -= 1
+            if counter == 0:
+                asserting = -pivot
+                break
+            reason = self._reason[abs(pivot)]
+            lit_iter = [l for l in (reason or []) if l != pivot]
+
+        if asserting is not None:
+            learned.insert(0, asserting)
+        if len(learned) <= 1:
+            return learned, 0
+        levels = sorted((self._level[abs(l)] for l in learned[1:]), reverse=True)
+        return learned, levels[0]
+
+    def _bump(self, var: int) -> None:
+        self._activity[var] = self._activity.get(var, 0.0) + self._var_inc
+
+    def _decay(self) -> None:
+        self._var_inc /= 0.95
+        if self._var_inc > 1e100:
+            for var in self._activity:
+                self._activity[var] *= 1e-100
+            self._var_inc *= 1e-100
+
+    def _backjump(self, level: int) -> None:
+        while self._trail_lim and len(self._trail_lim) > level:
+            mark = self._trail_lim.pop()
+            while len(self._trail) > mark:
+                lit = self._trail.pop()
+                var = abs(lit)
+                del self._assign[var]
+                del self._level[var]
+                del self._reason[var]
+
+    def _pick_branch(self) -> Optional[int]:
+        best_var = None
+        best_act = -1.0
+        for var in range(1, self.num_vars + 1):
+            if var not in self._assign:
+                act = self._activity.get(var, 0.0)
+                if act > best_act:
+                    best_act = act
+                    best_var = var
+        if best_var is None:
+            return None
+        return -best_var  # negative polarity first: good for ATPG encodings
+
+    # -- main loop -----------------------------------------------------------------------------
+
+    def solve(self, assumptions: Iterable[int] = ()) -> SatResult:
+        """Solve the current clause set; model available via :meth:`model`."""
+        if any(not c for c in self.clauses):
+            return SatResult.UNSAT
+        self._assign.clear()
+        self._level.clear()
+        self._reason.clear()
+        self._trail.clear()
+        self._trail_lim.clear()
+        self._watches.clear()
+
+        for clause in self.clauses:
+            if len(clause) == 1:
+                if self._value(clause[0]) is False:
+                    return SatResult.UNSAT
+                if self._value(clause[0]) is None:
+                    self._enqueue(clause[0], None)
+            else:
+                self._watch(clause[0], clause)
+                self._watch(clause[1], clause)
+        for lit in assumptions:
+            if self._value(lit) is False:
+                return SatResult.UNSAT
+            if self._value(lit) is None:
+                self._enqueue(lit, None)
+
+        head = 0
+        conflict, head = self._propagate(head)
+        if conflict is not None:
+            return SatResult.UNSAT
+
+        restart_limit = 100
+        conflicts_since_restart = 0
+        while True:
+            decision = self._pick_branch()
+            if decision is None:
+                return SatResult.SAT
+            self.stats.decisions += 1
+            self._trail_lim.append(len(self._trail))
+            self._enqueue(decision, None)
+            while True:
+                conflict, head = self._propagate(head)
+                if conflict is None:
+                    break
+                self.stats.conflicts += 1
+                conflicts_since_restart += 1
+                if self.stats.conflicts > self.max_conflicts:
+                    return SatResult.UNKNOWN
+                if not self._trail_lim:
+                    return SatResult.UNSAT
+                learned, back_level = self._analyze(conflict)
+                self._backjump(back_level)
+                head = len(self._trail)
+                self._decay()
+                if not learned:
+                    return SatResult.UNSAT
+                if len(learned) == 1:
+                    if self._value(learned[0]) is False:
+                        return SatResult.UNSAT
+                    if self._value(learned[0]) is None:
+                        self._enqueue(learned[0], None)
+                else:
+                    self.clauses.append(learned)
+                    self.stats.learned += 1
+                    self._watch(learned[0], learned)
+                    self._watch(learned[1], learned)
+                    if self._value(learned[0]) is None:
+                        self._enqueue(learned[0], learned)
+                if conflicts_since_restart >= restart_limit:
+                    conflicts_since_restart = 0
+                    restart_limit = int(restart_limit * 1.5)
+                    self.stats.restarts += 1
+                    self._backjump(0)
+                    head = len(self._trail)
+                    break
+
+    def model(self) -> dict[int, bool]:
+        """Satisfying assignment after a SAT answer (unassigned -> False)."""
+        return {v: self._assign.get(v, False) for v in range(1, self.num_vars + 1)}
+
+
+def solve(clauses: Iterable[Iterable[int]],
+          max_conflicts: int = 2_000_000) -> tuple[SatResult, dict[int, bool]]:
+    """Convenience one-shot solve; returns (result, model)."""
+    solver = SatSolver(max_conflicts=max_conflicts)
+    for clause in clauses:
+        solver.add_clause(clause)
+    result = solver.solve()
+    return result, (solver.model() if result is SatResult.SAT else {})

@@ -1,0 +1,35 @@
+"""SymbC: formal reconfiguration-consistency checking.
+
+*"Another tool, called SymbC, is provided by the Symbad project for
+formally verifying that the modified SW satisfies the following
+fundamental consistency property: each time the software requires a
+hardware resource of the reconfigurable part, this resource is actually
+available."* (Section 3.3)
+
+Inputs mirror the paper's: the application code containing FPGA
+reconfiguration instructions and resource calls
+(:class:`repro.swir.ast.Program`), plus a
+:class:`~repro.verify.symbc.configinfo.ConfigInfo` describing which
+function lives in which configuration.  The output is either a
+:class:`~repro.verify.symbc.certificate.ConsistencyCertificate` (a formal
+proof that any function is only invoked when present in the FPGA) or a
+counter-example path showing the problem.
+"""
+
+from repro.verify.symbc.configinfo import ConfigInfo, ConfigInfoError
+from repro.verify.symbc.analysis import SymbcAnalyzer, AbstractState
+from repro.verify.symbc.certificate import (
+    ConsistencyCertificate,
+    CounterExample,
+    SymbcVerdict,
+)
+
+__all__ = [
+    "ConfigInfo",
+    "ConfigInfoError",
+    "SymbcAnalyzer",
+    "AbstractState",
+    "ConsistencyCertificate",
+    "CounterExample",
+    "SymbcVerdict",
+]

@@ -1,0 +1,76 @@
+"""SymbC verdicts: consistency certificates and counter-examples."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class ConsistencyCertificate:
+    """Formal proof that the consistency property holds.
+
+    Records what was proved and the analysis evidence: for every FPGA
+    call site, the set of configurations possibly loaded there (the
+    abstract state), each of which implements the called function.
+    """
+
+    program_entry: str
+    call_sites_proved: int
+    evidence: dict[int, tuple[str, frozenset[str]]]  # sid -> (function, configs)
+
+    @property
+    def holds(self) -> bool:
+        return True
+
+    def describe(self) -> str:
+        lines = [
+            "SymbC consistency certificate",
+            f"  entry: {self.program_entry}",
+            f"  property: every FPGA resource call finds its function loaded",
+            f"  call sites proved: {self.call_sites_proved}",
+        ]
+        for sid, (function, configs) in sorted(self.evidence.items()):
+            cfgs = ", ".join(sorted(configs))
+            lines.append(f"    sid {sid}: {function}() available in {{{cfgs}}}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class CounterExample:
+    """A control-flow path along which a call may find its function absent."""
+
+    function: str
+    call_sid: int
+    #: configurations possibly loaded at the call ("" = none/unknown)
+    loaded_candidates: frozenset[str]
+    #: human-readable path of statements from entry to the bad call
+    path: tuple[str, ...]
+
+    def describe(self) -> str:
+        loaded = ", ".join(sorted(self.loaded_candidates)) or "<none loaded>"
+        lines = [
+            "SymbC counter-example",
+            f"  call to {self.function}() at sid {self.call_sid} may execute with "
+            f"loaded context in {{{loaded}}}",
+            "  path:",
+        ]
+        lines += [f"    {step}" for step in self.path]
+        return "\n".join(lines)
+
+
+@dataclass
+class SymbcVerdict:
+    """Overall result: a certificate or one or more counter-examples."""
+
+    certificate: Optional[ConsistencyCertificate] = None
+    counter_examples: list[CounterExample] = field(default_factory=list)
+
+    @property
+    def consistent(self) -> bool:
+        return self.certificate is not None and not self.counter_examples
+
+    def describe(self) -> str:
+        if self.consistent:
+            return self.certificate.describe()
+        return "\n\n".join(ce.describe() for ce in self.counter_examples)

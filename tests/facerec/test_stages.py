@@ -1,0 +1,180 @@
+"""Tests for the image-processing stage algorithms."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.facerec import stages
+from repro.facerec.camera import bayer_mosaic, synth_face
+
+
+@pytest.fixture(scope="module")
+def face():
+    return synth_face(identity=0, pose=0, size=64)
+
+
+class TestBay:
+    def test_shape_and_dtype(self, face):
+        mosaic = bayer_mosaic(face)
+        gray = stages.bay(mosaic)
+        assert gray.shape == face.shape
+        assert gray.dtype == np.uint8
+
+    def test_roughly_inverts_mosaic(self, face):
+        mosaic = bayer_mosaic(face)
+        gray = stages.bay(mosaic)
+        # Gain-corrected demosaic should approximate a smoothed original.
+        diff = np.abs(gray.astype(int) - face.astype(int)).mean()
+        assert diff < 30
+
+    def test_rejects_wrong_rank(self):
+        with pytest.raises(ValueError):
+            bayer_mosaic(np.zeros((4, 4, 3), dtype=np.uint8))
+
+
+class TestErosion:
+    def test_erosion_never_increases(self, face):
+        eroded = stages.erosion(face)
+        assert (eroded <= face).all()
+
+    def test_constant_image_fixed_point(self):
+        img = np.full((16, 16), 100, dtype=np.uint8)
+        assert (stages.erosion(img) == img).all()
+
+    def test_removes_salt_noise(self):
+        img = np.zeros((16, 16), dtype=np.uint8)
+        img[8, 8] = 255  # single bright pixel
+        assert stages.erosion(img).max() == 0
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_idempotent_on_flat_regions(self, seed):
+        rng = np.random.default_rng(seed)
+        img = (rng.integers(0, 2, (12, 12)) * 200).astype(np.uint8)
+        once = stages.erosion(img)
+        # Erosion is monotone and anti-extensive.
+        assert (stages.erosion(once) <= once).all()
+
+
+class TestEdge:
+    def test_flat_image_no_edges(self):
+        img = np.full((16, 16), 77, dtype=np.uint8)
+        assert stages.edge(img).max() == 0
+
+    def test_step_edge_detected(self):
+        img = np.zeros((16, 16), dtype=np.uint8)
+        img[:, 8:] = 200
+        edges = stages.edge(img)
+        assert edges[:, 7:9].max() == 255
+        assert edges[:, :4].max() == 0
+
+    def test_output_saturated_uint8(self, face):
+        edges = stages.edge(face)
+        assert edges.dtype == np.uint8
+
+
+class TestEllipse:
+    def test_centered_blob(self):
+        img = np.zeros((32, 32), dtype=np.uint8)
+        img[12:20, 10:22] = 255
+        __, (cx, cy, a, b) = stages.ellipse_fit(img)
+        assert 14 <= cx <= 17
+        assert 14 <= cy <= 17
+        assert a >= 2 and b >= 2
+
+    def test_empty_image_fallback(self):
+        img = np.zeros((32, 32), dtype=np.uint8)
+        __, (cx, cy, a, b) = stages.ellipse_fit(img)
+        assert (cx, cy) == (16, 16)
+
+
+class TestCrtbordLines:
+    def test_window_shape(self, face):
+        edges = stages.edge(face)
+        window = stages.crtbord(edges, (32, 32, 10, 12))
+        assert window.shape == (stages.WINDOW, stages.WINDOW)
+
+    def test_degenerate_crop_falls_back(self):
+        edges = np.arange(64 * 64, dtype=np.uint8).reshape(64, 64)
+        window = stages.crtbord(edges, (0, 0, 0, 0))
+        assert window.shape == (stages.WINDOW, stages.WINDOW)
+
+    def test_crtline_rows_then_columns(self):
+        window = np.arange(stages.WINDOW**2, dtype=np.uint8).reshape(
+            stages.WINDOW, stages.WINDOW)
+        lines = stages.crtline(window)
+        assert lines.shape == (2 * stages.WINDOW, stages.WINDOW)
+        assert (lines[: stages.WINDOW] == window).all()
+        assert (lines[stages.WINDOW:] == window.T).all()
+
+    def test_calcline_normalised(self):
+        lines = np.ones((8, 8), dtype=np.uint8) * 10
+        features = stages.calcline(lines)
+        assert features.max() == 255
+        assert (features == 255).all()  # equal rows -> equal features
+
+    def test_calcline_zero_input(self):
+        features = stages.calcline(np.zeros((4, 4), dtype=np.uint8))
+        assert (features == 0).all()
+
+
+class TestMatchingChain:
+    def test_distance_shape_and_sign(self):
+        feat = np.array([1, 2, 3], dtype=np.int32)
+        db = np.array([[1, 2, 3], [2, 3, 4]], dtype=np.int32)
+        diffs = stages.distance(feat, db)
+        assert diffs.shape == (2, 3)
+        assert (diffs[0] == 0).all()
+        assert (diffs[1] == 1).all()
+
+    def test_distance_width_mismatch(self):
+        with pytest.raises(ValueError):
+            stages.distance(np.zeros(3), np.zeros((2, 4)))
+
+    def test_calcdist_is_squared_norm(self):
+        diffs = np.array([[3, 4], [0, 0]], dtype=np.int64)
+        sq = stages.calcdist(diffs)
+        assert list(sq) == [25, 0]
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, 2**40))
+    def test_isqrt_matches_math(self, value):
+        assert stages.isqrt(value) == math.isqrt(value)
+
+    def test_isqrt_negative_rejected(self):
+        with pytest.raises(ValueError):
+            stages.isqrt(-1)
+
+    def test_root_vector(self):
+        out = stages.root(np.array([0, 1, 25, 10**6]))
+        assert list(out) == [0, 1, 5, 1000]
+
+    def test_winner(self):
+        dists = np.array([5, 2, 9])
+        labels = [(0, 0), (7, 1), (3, 2)]
+        assert stages.winner(dists, labels) == (7, 1, 2)
+
+    def test_winner_length_mismatch(self):
+        with pytest.raises(ValueError):
+            stages.winner(np.array([1]), [])
+
+
+class TestOpsEstimates:
+    def test_all_positive_and_scale_with_size(self, face):
+        small = face[:32, :32]
+        assert stages.bay_ops(face) > stages.bay_ops(small) > 0
+        assert stages.erosion_ops(face) > 0
+        assert stages.edge_ops(face) > 0
+        assert stages.ellipse_ops(face) > 0
+        assert stages.crtbord_ops(face) > 0
+        assert stages.crtline_ops(face) > 0
+        assert stages.calcline_ops(face) > 0
+        db = np.zeros((10, 64), dtype=np.int32)
+        feat = np.zeros(64, dtype=np.int32)
+        assert stages.distance_ops(feat, db) == db.size * 2
+        assert stages.calcdist_ops(db) > 0
+        assert stages.root_ops(np.zeros(10)) == 300
+        assert stages.winner_ops(np.zeros(10)) == 10

@@ -1,0 +1,66 @@
+"""Tests for the end-to-end methodology driver and report generation."""
+
+import pytest
+
+from repro.facerec import FacerecConfig, build_graph
+from repro.flow import SymbadFlow, flow_figure, topology_figure
+
+
+@pytest.fixture(scope="module")
+def report():
+    flow = SymbadFlow(config=FacerecConfig(identities=3, poses=2, size=32),
+                      frames=2)
+    return flow.run(run_pcc=False)
+
+
+class TestSymbadFlow:
+    def test_level1_matches_reference(self, report):
+        assert report.level1.matches_reference
+
+    def test_level2_consistent_and_timed(self, report):
+        assert report.level2.consistent_with_level1
+        assert report.level2.metrics.elapsed_ps > 0
+        assert report.level2.deadline.holds
+
+    def test_level3_consistent_and_reconfigures(self, report):
+        assert report.level3.consistent_with_level2
+        assert report.level3.symbc.consistent
+        assert report.level3.metrics.fpga_report["reconfigurations"] >= 2
+
+    def test_level4_verified(self, report):
+        assert report.level4.verified
+        assert set(report.level4.modules) == {"ROOT", "DISTANCE_STEP"}
+
+    def test_recognition_accuracy(self, report):
+        assert report.recognition_accuracy >= 0.5
+
+    def test_speed_ratio_shape(self, report):
+        """Level 3 must be slower to simulate than level 2 (paper: 6.7x)."""
+        assert report.sim_speed_ratio > 1.0
+
+    def test_describe_contains_all_levels(self, report):
+        text = report.describe()
+        for marker in ("Level 1", "level 2", "level 3", "level 4",
+                       "recognition accuracy", "simulation speed ratio"):
+            assert marker in text
+
+    def test_topology_figure(self):
+        flow = SymbadFlow(config=FacerecConfig(identities=2, poses=1, size=32),
+                          frames=1)
+        text = flow.topology()
+        assert "CAMERA" in text and "WINNER" in text
+        assert "13 modules" in text
+
+
+class TestReportGen:
+    def test_flow_figure_lists_levels(self):
+        text = flow_figure()
+        for marker in ("Level 1", "Level 2", "Level 3", "Level 4",
+                       "SymbC", "LPV", "PCC", "Laerte"):
+            assert marker in text
+
+    def test_topology_counts(self):
+        graph = build_graph(FacerecConfig(identities=2, poses=1, size=32))
+        text = topology_figure(graph)
+        assert "13 modules, 13 point-to-point channels" in text
+        assert "c_dbfeat" in text

@@ -1,0 +1,327 @@
+"""Unit tests for the DES scheduler: processes, events, delta cycles."""
+
+import pytest
+
+from repro.kernel import (
+    NS,
+    US,
+    Simulator,
+    SimulationError,
+    wait,
+    wait_all,
+    wait_any,
+)
+from repro.kernel.process import ProcessState
+
+
+def test_spawn_requires_generator():
+    sim = Simulator()
+    with pytest.raises(TypeError):
+        sim.spawn("notagen", lambda: None)
+
+
+def test_timed_wait_advances_clock():
+    sim = Simulator()
+    seen = []
+
+    def proc():
+        yield wait(10, NS)
+        seen.append(sim.now_ps)
+        yield wait(5, NS)
+        seen.append(sim.now_ps)
+
+    sim.spawn("p", proc())
+    end = sim.run()
+    assert seen == [10_000, 15_000]
+    assert end == 15_000
+
+
+def test_zero_time_wait_is_one_delta():
+    sim = Simulator()
+    order = []
+
+    def first():
+        order.append("first-start")
+        yield wait(0)
+        order.append("first-resume")
+
+    def second():
+        order.append("second-start")
+        yield wait(0)
+        order.append("second-resume")
+
+    sim.spawn("a", first())
+    sim.spawn("b", second())
+    sim.run()
+    # Both processes run their first segment before either resumes.
+    assert order == ["first-start", "second-start", "first-resume", "second-resume"]
+
+
+def test_event_notification_wakes_waiter():
+    sim = Simulator()
+    event = sim.event("go")
+    seen = []
+
+    def waiter():
+        got = yield wait(event)
+        seen.append((got, sim.now_ps))
+
+    def notifier():
+        yield wait(7, NS)
+        event.notify()
+
+    sim.spawn("w", waiter())
+    sim.spawn("n", notifier())
+    sim.run()
+    assert seen == [(event, 7_000)]
+
+
+def test_timed_event_notification():
+    sim = Simulator()
+    event = sim.event("later")
+    seen = []
+
+    def waiter():
+        yield wait(event)
+        seen.append(sim.now_ps)
+
+    def notifier():
+        event.notify(100 * NS)
+        yield wait(1, NS)
+
+    sim.spawn("w", waiter())
+    sim.spawn("n", notifier())
+    sim.run()
+    assert seen == [100_000]
+
+
+def test_earliest_notification_wins():
+    sim = Simulator()
+    event = sim.event("e")
+    seen = []
+
+    def waiter():
+        yield wait(event)
+        seen.append(sim.now_ps)
+
+    def notifier():
+        event.notify(100 * NS)
+        event.notify(10 * NS)  # earlier: supersedes
+        event.notify(50 * NS)  # later than pending: ignored
+        yield wait(1, NS)
+
+    sim.spawn("w", waiter())
+    sim.spawn("n", notifier())
+    sim.run()
+    assert seen == [10_000]
+
+
+def test_event_cancel():
+    sim = Simulator()
+    event = sim.event("e")
+    seen = []
+
+    def waiter():
+        got = yield wait(event, timeout_ps=50_000)
+        seen.append(got)
+
+    def notifier():
+        event.notify(10 * NS)
+        event.cancel()
+        yield wait(1, NS)
+
+    sim.spawn("w", waiter())
+    sim.spawn("n", notifier())
+    sim.run()
+    # Notification cancelled: waiter resumed by timeout with None.
+    assert seen == [None]
+
+
+def test_wait_any():
+    sim = Simulator()
+    e1, e2 = sim.event("e1"), sim.event("e2")
+    seen = []
+
+    def waiter():
+        got = yield wait_any([e1, e2])
+        seen.append(got)
+
+    def notifier():
+        yield wait(5, NS)
+        e2.notify()
+
+    sim.spawn("w", waiter())
+    sim.spawn("n", notifier())
+    sim.run()
+    assert seen == [e2]
+
+
+def test_wait_all():
+    sim = Simulator()
+    e1, e2 = sim.event("e1"), sim.event("e2")
+    seen = []
+
+    def waiter():
+        yield wait_all([e1, e2])
+        seen.append(sim.now_ps)
+
+    def notifier():
+        yield wait(5, NS)
+        e1.notify()
+        yield wait(5, NS)
+        e2.notify()
+
+    sim.spawn("w", waiter())
+    sim.spawn("n", notifier())
+    sim.run()
+    assert seen == [10_000]
+
+
+def test_wait_timeout_returns_none():
+    sim = Simulator()
+    event = sim.event("never")
+    seen = []
+
+    def waiter():
+        got = yield wait(event, timeout_ps=20_000)
+        seen.append((got, sim.now_ps))
+
+    sim.spawn("w", waiter())
+    sim.run()
+    assert seen == [(None, 20_000)]
+
+
+def test_run_until_stops_time():
+    sim = Simulator()
+
+    def proc():
+        while True:
+            yield wait(10, NS)
+
+    sim.spawn("p", proc())
+    end = sim.run(until_ps=95_000)
+    assert end == 95_000
+
+
+def test_process_failure_raises_simulation_error():
+    sim = Simulator()
+
+    def bad():
+        yield wait(1, NS)
+        raise ValueError("boom")
+
+    sim.spawn("bad", bad())
+    with pytest.raises(SimulationError, match="bad"):
+        sim.run()
+
+
+def test_starved_processes_reported():
+    sim = Simulator()
+    event = sim.event("never")
+
+    def waiter():
+        yield wait(event)
+
+    proc = sim.spawn("w", waiter())
+    sim.run()
+    assert sim.starved_processes == [proc]
+    assert proc.state is ProcessState.WAITING
+
+
+def test_kill_process():
+    sim = Simulator()
+    seen = []
+
+    def proc():
+        yield wait(10, NS)
+        seen.append("resumed")
+
+    p = sim.spawn("p", proc())
+
+    def killer():
+        yield wait(1, NS)
+        p.kill()
+
+    sim.spawn("k", killer())
+    sim.run()
+    assert seen == []
+    assert p.state is ProcessState.FINISHED
+
+
+def test_finished_event_fires():
+    sim = Simulator()
+    seen = []
+
+    def worker():
+        yield wait(10, NS)
+
+    p = sim.spawn("worker", worker())
+
+    def joiner():
+        yield wait(p.finished)
+        seen.append(sim.now_ps)
+
+    sim.spawn("joiner", joiner())
+    sim.run()
+    assert seen == [10_000]
+
+
+def test_yielding_garbage_fails_fast():
+    sim = Simulator()
+
+    def bad():
+        yield 42  # not a wait request
+
+    sim.spawn("bad", bad())
+    with pytest.raises(SimulationError, match="wait"):
+        sim.run()
+
+
+def test_stop_mid_run():
+    sim = Simulator()
+    ticks = []
+
+    def ticker():
+        while True:
+            yield wait(1, US)
+            ticks.append(sim.now_ps)
+            if len(ticks) == 3:
+                sim.stop()
+
+    sim.spawn("t", ticker())
+    sim.run()
+    assert len(ticks) == 3
+
+
+def test_activation_and_delta_counters():
+    sim = Simulator()
+
+    def proc():
+        for _ in range(5):
+            yield wait(1, NS)
+
+    sim.spawn("p", proc())
+    sim.run()
+    assert sim.activation_count >= 6  # initial + 5 resumes
+    assert sim.delta_count >= 5
+    assert "t=" in sim.describe()
+
+
+def test_many_processes_order_deterministic():
+    """Two identical runs produce identical event orderings."""
+
+    def run_once():
+        sim = Simulator()
+        trace = []
+
+        def worker(idx):
+            for step in range(10):
+                yield wait(1 + (idx % 3), NS)
+                trace.append((idx, step, sim.now_ps))
+
+        for i in range(20):
+            sim.spawn(f"w{i}", worker(i))
+        sim.run()
+        return trace
+
+    assert run_once() == run_once()

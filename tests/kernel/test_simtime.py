@@ -1,0 +1,76 @@
+"""Unit tests for the simulation time type."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.kernel.simtime import MS, NS, PS, SEC, US, SimTime, format_time, time_ps
+
+
+class TestTimePs:
+    def test_basic_units(self):
+        assert time_ps(1, PS) == 1
+        assert time_ps(1, NS) == 1_000
+        assert time_ps(1, US) == 1_000_000
+        assert time_ps(1, MS) == 1_000_000_000
+        assert time_ps(1, SEC) == 1_000_000_000_000
+
+    def test_fractional_rounds(self):
+        assert time_ps(1.5, NS) == 1500
+        assert time_ps(0.0001, NS) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            time_ps(-1, NS)
+
+
+class TestSimTime:
+    def test_construction_and_conversion(self):
+        t = SimTime.of(5, NS)
+        assert t.picoseconds == 5000
+        assert t.to(NS) == 5.0
+        assert int(t) == 5000
+
+    def test_arithmetic(self):
+        a = SimTime.of(10, NS)
+        b = SimTime.of(3, NS)
+        assert (a + b).picoseconds == 13_000
+        assert (a - b).picoseconds == 7_000
+        assert (a + 500).picoseconds == 10_500
+
+    def test_ordering(self):
+        assert SimTime.of(1, NS) < SimTime.of(2, NS)
+        assert SimTime.of(1, US) > SimTime.of(999, NS)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SimTime(-1)
+        with pytest.raises(ValueError):
+            SimTime.of(1, NS) - SimTime.of(2, NS)
+
+    @given(st.integers(min_value=0, max_value=10**15), st.integers(min_value=0, max_value=10**15))
+    def test_addition_commutes(self, a, b):
+        assert (SimTime(a) + SimTime(b)) == (SimTime(b) + SimTime(a))
+
+
+class TestFormatTime:
+    def test_zero(self):
+        assert format_time(0) == "0s"
+
+    def test_exact_units(self):
+        assert format_time(1000) == "1ns"
+        assert format_time(2_000_000) == "2us"
+        assert format_time(3_000_000_000) == "3ms"
+        assert format_time(1_000_000_000_000) == "1s"
+
+    def test_fractional(self):
+        assert format_time(1500) == "1.5ns"
+
+    def test_sub_ns(self):
+        assert format_time(999) == "999ps"
+
+    @given(st.integers(min_value=1, max_value=10**15))
+    def test_always_nonempty_with_unit(self, ps):
+        rendered = format_time(ps)
+        assert rendered
+        assert any(rendered.endswith(u) for u in ("ps", "ns", "us", "ms", "s"))

@@ -1,0 +1,151 @@
+"""Tests for mutex and semaphore synchronisation channels."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernel import Mutex, NS, Semaphore, Simulator, wait
+
+
+class TestMutex:
+    def test_try_lock(self):
+        sim = Simulator()
+        mutex = Mutex("m", sim)
+        assert mutex.try_lock()
+        assert mutex.locked
+        assert not mutex.try_lock()
+        mutex.unlock()
+        assert not mutex.locked
+
+    def test_unlock_when_free_raises(self):
+        sim = Simulator()
+        mutex = Mutex("m", sim)
+        with pytest.raises(RuntimeError):
+            mutex.unlock()
+
+    def test_mutual_exclusion(self):
+        sim = Simulator()
+        mutex = Mutex("m", sim)
+        in_critical = [0]
+        max_seen = [0]
+
+        def worker(idx, hold_ns):
+            for __ in range(3):
+                yield from mutex.lock()
+                in_critical[0] += 1
+                max_seen[0] = max(max_seen[0], in_critical[0])
+                yield wait(hold_ns, NS)
+                in_critical[0] -= 1
+                mutex.unlock()
+
+        for i in range(4):
+            sim.spawn(f"w{i}", worker(i, 5 + i))
+        sim.run()
+        assert max_seen[0] == 1  # never two holders at once
+        assert mutex.lock_count == 12
+        assert mutex.contended_count > 0
+
+    def test_fifo_grant_order(self):
+        sim = Simulator()
+        mutex = Mutex("m", sim)
+        order = []
+
+        def holder():
+            yield from mutex.lock()
+            yield wait(100, NS)
+            mutex.unlock()
+
+        def contender(name, delay_ns):
+            yield wait(delay_ns, NS)
+            yield from mutex.lock()
+            order.append(name)
+            mutex.unlock()
+
+        sim.spawn("h", holder())
+        sim.spawn("a", contender("a", 10))
+        sim.spawn("b", contender("b", 20))
+        sim.spawn("c", contender("c", 30))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+
+class TestSemaphore:
+    def test_negative_value_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Semaphore("s", sim, -1)
+
+    def test_try_wait(self):
+        sim = Simulator()
+        sem = Semaphore("s", sim, 2)
+        assert sem.try_wait()
+        assert sem.try_wait()
+        assert not sem.try_wait()
+        sem.release()
+        assert sem.value == 1
+
+    def test_bounded_concurrency(self):
+        sim = Simulator()
+        sem = Semaphore("pool", sim, 2)
+        active = [0]
+        max_active = [0]
+
+        def worker():
+            yield from sem.acquire()
+            active[0] += 1
+            max_active[0] = max(max_active[0], active[0])
+            yield wait(10, NS)
+            active[0] -= 1
+            sem.release()
+
+        for i in range(6):
+            sim.spawn(f"w{i}", worker())
+        sim.run()
+        assert max_active[0] <= 2
+        assert sem.wait_count == 6
+        assert sem.post_count == 6
+
+    def test_release_wakes_waiter(self):
+        sim = Simulator()
+        sem = Semaphore("s", sim, 0)
+        got = []
+
+        def waiter():
+            yield from sem.acquire()
+            got.append(sim.now_ps)
+
+        def poster():
+            yield wait(50, NS)
+            sem.release()
+
+        sim.spawn("w", waiter())
+        sim.spawn("p", poster())
+        sim.run()
+        assert got == [50_000]
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        pool=st.integers(min_value=1, max_value=4),
+        workers=st.integers(min_value=1, max_value=10),
+        hold_ns=st.integers(min_value=1, max_value=20),
+    )
+    def test_concurrency_never_exceeds_pool(self, pool, workers, hold_ns):
+        sim = Simulator()
+        sem = Semaphore("pool", sim, pool)
+        active = [0]
+        max_active = [0]
+
+        def worker():
+            yield from sem.acquire()
+            active[0] += 1
+            max_active[0] = max(max_active[0], active[0])
+            yield wait(hold_ns, NS)
+            active[0] -= 1
+            sem.release()
+
+        for i in range(workers):
+            sim.spawn(f"w{i}", worker())
+        sim.run()
+        assert max_active[0] <= pool
+        assert sem.value == pool  # all returned
+        assert not sim.starved_processes

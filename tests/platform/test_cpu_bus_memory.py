@@ -1,0 +1,215 @@
+"""Tests for CPU timing models, the bus and memories."""
+
+import pytest
+
+from repro.kernel import NS, Simulator, wait
+from repro.platform import ARM7TDMI, ARM9TDMI, CPU_LIBRARY, Bus, CpuModel, Memory
+from repro.tlm import InitiatorSocket, Response, Transaction
+
+
+class TestCpuModel:
+    def test_library_members(self):
+        assert "ARM7TDMI" in CPU_LIBRARY
+        assert CPU_LIBRARY["ARM7TDMI"] is ARM7TDMI
+
+    def test_cycle_ps(self):
+        assert ARM7TDMI.cycle_ps == 20_000  # 50 MHz
+
+    def test_cycles_for_mix(self):
+        cpu = CpuModel("test", 100_000_000, cpi_overhead=1.0)
+        cycles = cpu.cycles_for_mix({"alu": 10, "load": 2, "store": 1,
+                                     "mul": 0, "div": 0, "branch": 0})
+        assert cycles == 10 * 1 + 2 * 3 + 1 * 2
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(KeyError):
+            ARM7TDMI.cycles_for_mix({"quantum": 1})
+
+    def test_scalar_ops_monotone(self):
+        assert ARM7TDMI.cycles_for_ops(2000) > ARM7TDMI.cycles_for_ops(1000)
+
+    def test_time_scales_with_frequency(self):
+        t_slow = ARM7TDMI.time_ps_for_ops(10_000)
+        t_fast = ARM9TDMI.time_ps_for_ops(10_000)
+        assert t_fast < t_slow
+
+    def test_invalid_frequency(self):
+        with pytest.raises(ValueError):
+            CpuModel("bad", 0)
+
+    def test_missing_op_class(self):
+        with pytest.raises(ValueError):
+            CpuModel("bad", 1_000_000, cycles_per_op={"alu": 1.0})
+
+
+class TestMemory:
+    def _setup(self):
+        sim = Simulator()
+        mem = Memory("ram", sim, base=0x1000, size_words=16, latency_ps=10_000)
+        return sim, mem
+
+    def test_preload_and_peek(self):
+        __, mem = self._setup()
+        mem.preload(0x1000, [1, 2, 3])
+        assert mem.peek(0x1000, 3) == [1, 2, 3]
+        assert mem.peek(0x100C) == [0]
+
+    def test_unaligned_rejected(self):
+        __, mem = self._setup()
+        with pytest.raises(ValueError):
+            mem.peek(0x1002)
+
+    def test_out_of_range_rejected(self):
+        __, mem = self._setup()
+        with pytest.raises(ValueError):
+            mem.preload(0x1040, [1])
+
+    def test_write_then_read_via_transport(self):
+        sim, mem = self._setup()
+        log = []
+
+        def master():
+            w = Transaction.write(0x1004, [7, 8], origin="cpu")
+            yield from mem.transport(w)
+            r = Transaction.read(0x1004, burst_len=2, origin="cpu")
+            yield from mem.transport(r)
+            log.append((w.response, r.response, r.data, sim.now_ps))
+
+        sim.spawn("m", master())
+        sim.run()
+        response_w, response_r, data, t = log[0]
+        assert response_w is Response.OK and response_r is Response.OK
+        assert data == [7, 8]
+        assert t == 4 * 10_000  # 2 writes + 2 reads, latency per beat
+        assert mem.uninitialized_reads == []
+
+    def test_uninitialized_read_recorded(self):
+        sim, mem = self._setup()
+
+        def master():
+            r = Transaction.read(0x1008, origin="dut")
+            yield from mem.transport(r)
+
+        sim.spawn("m", master())
+        sim.run()
+        assert len(mem.uninitialized_reads) == 1
+        assert mem.uninitialized_reads[0].address == 0x1008
+        assert mem.uninitialized_reads[0].origin == "dut"
+        assert mem.stats()["uninitialized_reads"] == 1
+
+    def test_readonly_memory_rejects_writes(self):
+        sim = Simulator()
+        mem = Memory("flash", sim, base=0, size_words=4, readonly=True)
+
+        def master():
+            txn = Transaction.write(0, [1])
+            yield from mem.transport(txn)
+            assert txn.response is Response.SLAVE_ERROR
+
+        sim.spawn("m", master())
+        sim.run()
+
+    def test_out_of_range_transport_is_slave_error(self):
+        sim, mem = self._setup()
+
+        def master():
+            txn = Transaction.read(0x2000)
+            result = yield from mem.transport(txn)
+            assert result.response is Response.SLAVE_ERROR
+
+        sim.spawn("m", master())
+        sim.run()
+
+
+class TestBus:
+    def _setup(self):
+        sim = Simulator()
+        bus = Bus("amba", sim, frequency_hz=50_000_000)
+        ram = Memory("ram", sim, base=0x1000, size_words=64, latency_ps=0)
+        bus.attach("ram", 0x1000, 256, ram)
+        return sim, bus, ram
+
+    def test_transport_timing(self):
+        sim, bus, __ = self._setup()
+        socket = InitiatorSocket("cpu")
+        socket.bind(bus)
+        done = []
+
+        def master():
+            txn = Transaction.write(0x1000, [1, 2, 3, 4], origin="cpu")
+            yield from socket.transport(txn)
+            done.append(sim.now_ps)
+
+        sim.spawn("m", master())
+        sim.run()
+        # 1 arb + 1 addr + 4 data beats at 20ns each
+        assert done == [6 * 20_000]
+
+    def test_decode_error(self):
+        sim, bus, __ = self._setup()
+        socket = InitiatorSocket("cpu")
+        socket.bind(bus)
+        responses = []
+
+        def master():
+            txn = Transaction.read(0xDEAD0000)
+            yield from socket.transport(txn)
+            responses.append(txn.response)
+
+        sim.spawn("m", master())
+        sim.run()
+        assert responses == [Response.DECODE_ERROR]
+        assert bus.stats.decode_errors == 1
+
+    def test_arbitration_serialises_masters(self):
+        sim, bus, __ = self._setup()
+        times = []
+
+        def master(name):
+            socket = InitiatorSocket(name)
+            socket.bind(bus)
+            txn = Transaction.write(0x1000, [0] * 8, origin=name)
+            yield from socket.transport(txn)
+            times.append((name, sim.now_ps))
+
+        sim.spawn("a", master("a"))
+        sim.spawn("b", master("b"))
+        sim.run()
+        # Each txn occupies 10 cycles = 200ns; second finishes at 400ns.
+        finish_times = sorted(t for __, t in times)
+        assert finish_times == [200_000, 400_000]
+        assert bus.stats.wait_ps_total > 0
+
+    def test_traffic_accounting(self):
+        sim, bus, __ = self._setup()
+        socket = InitiatorSocket("cpu")
+        socket.bind(bus)
+
+        def master():
+            yield from socket.transport(
+                Transaction.write(0x1000, [0] * 4, origin="cpu", kind="data"))
+            yield from socket.transport(
+                Transaction.read(0x1010, burst_len=2, origin="fpga",
+                                 kind="bitstream"))
+
+        sim.spawn("m", master())
+        sim.run()
+        report = bus.loading_report()
+        assert report["words"] == 6
+        assert report["words_by_origin"] == {"cpu": 4, "fpga": 2}
+        assert report["words_by_kind"] == {"data": 4, "bitstream": 2}
+        assert 0 < report["utilization"] <= 1
+
+    def test_overlapping_slaves_rejected(self):
+        sim = Simulator()
+        bus = Bus("b", sim)
+        ram = Memory("ram", sim, base=0, size_words=16)
+        bus.attach("ram", 0, 64, ram)
+        with pytest.raises(Exception):
+            bus.attach("ram2", 32, 64, ram)
+
+    def test_attach_requires_transport(self):
+        sim = Simulator()
+        bus = Bus("b", sim)
+        with pytest.raises(TypeError):
+            bus.attach("x", 0, 16, object())

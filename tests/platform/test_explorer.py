@@ -1,0 +1,92 @@
+"""Tests for architecture exploration."""
+
+import pytest
+
+from repro.facerec import FacerecConfig, build_graph
+from repro.facerec.camera import CameraConfig, FaceSampler
+from repro.platform import Explorer, Partition, profile_graph
+
+CFG = FacerecConfig(identities=2, poses=2, size=32)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    graph = build_graph(CFG)
+    sampler = FaceSampler(CameraConfig(size=CFG.size, noise_sigma=1.0))
+    frames = sampler.frames([(0, 0)])
+    profile = profile_graph(graph, {"CAMERA": frames})
+    return graph, frames, profile
+
+
+class TestCandidates:
+    def test_default_candidates_start_all_sw(self, setup):
+        graph, __, profile = setup
+        explorer = Explorer(graph, profile)
+        candidates = explorer.candidates(max_hw=3)
+        assert candidates[0][0] == "all-sw"
+        assert len(candidates) == 4  # all-sw + top1..top3
+
+    def test_candidates_keep_sinks_sw(self, setup):
+        graph, __, profile = setup
+        explorer = Explorer(graph, profile)
+        for __, partition in explorer.candidates():
+            assert partition.side("WINNER").value == "sw"
+
+    def test_candidates_follow_ranking(self, setup):
+        graph, __, profile = setup
+        explorer = Explorer(graph, profile)
+        label, partition = explorer.candidates(max_hw=1)[1]
+        assert label == "hw-top1"
+        assert partition.hw_tasks == {profile.heaviest(1)[0]}
+
+
+class TestExploration:
+    def test_explore_ranks_by_objective(self, setup):
+        graph, frames, profile = setup
+        explorer = Explorer(graph, profile)
+        result = explorer.explore({"CAMERA": frames}, max_hw=3)
+        assert len(result.scores) == 4
+        objectives = [s.objective for s in result.scores]
+        assert objectives == sorted(objectives)
+        assert result.best is result.scores[0]
+
+    def test_hw_candidates_beat_all_sw_on_latency(self, setup):
+        graph, frames, profile = setup
+        explorer = Explorer(graph, profile)
+        result = explorer.explore({"CAMERA": frames}, max_hw=4)
+        by_label = {s.label: s for s in result.scores}
+        assert (by_label["hw-top4"].metrics.frame_latency_ps
+                < by_label["all-sw"].metrics.frame_latency_ps)
+
+    def test_custom_candidates(self, setup):
+        graph, frames, profile = setup
+        explorer = Explorer(graph, profile)
+        custom = [("mine", Partition.all_sw(graph))]
+        result = explorer.explore({"CAMERA": frames}, candidates=custom)
+        assert [s.label for s in result.scores] == ["mine"]
+
+    def test_describe(self, setup):
+        graph, frames, profile = setup
+        explorer = Explorer(graph, profile)
+        result = explorer.explore({"CAMERA": frames}, max_hw=1)
+        text = result.describe()
+        assert "all-sw" in text and "objective" in text
+
+    def test_empty_result_best_raises(self):
+        from repro.platform.explorer import ExplorationResult
+        with pytest.raises(ValueError):
+            ExplorationResult([]).best
+
+    def test_weights_change_ranking_weighting(self, setup):
+        graph, frames, profile = setup
+        latency_first = Explorer(graph, profile,
+                                 weights={"latency": 3.0, "area": 0.0})
+        area_first = Explorer(graph, profile,
+                              weights={"latency": 0.0, "area": 3.0,
+                                       "energy": 0.0, "bus": 0.0})
+        r_lat = latency_first.explore({"CAMERA": frames}, max_hw=4)
+        r_area = area_first.explore({"CAMERA": frames}, max_hw=4)
+        # Area-dominated objective must prefer the zero-gate all-SW design.
+        assert r_area.best.label == "all-sw"
+        # Latency-dominated objective must not.
+        assert r_lat.best.label != "all-sw"

@@ -1,0 +1,127 @@
+"""Tests for the VCD waveform writer."""
+
+import io
+
+import pytest
+
+from repro.facerec.swmodels import root_function
+from repro.rtl.synth import synthesize
+from repro.rtl.vcd import VcdWriter, _identifier, dump_fsmd_run
+
+
+class TestIdentifiers:
+    def test_unique_for_many_variables(self):
+        idents = {_identifier(i) for i in range(2000)}
+        assert len(idents) == 2000
+
+    def test_short_for_small_indices(self):
+        assert len(_identifier(0)) == 1
+
+
+class TestVcdWriter:
+    def _writer(self):
+        stream = io.StringIO()
+        vcd = VcdWriter(stream, timescale="1ns", module="dut")
+        return stream, vcd
+
+    def test_header_structure(self):
+        stream, vcd = self._writer()
+        vcd.declare("clk", 1)
+        vcd.declare("bus", 8)
+        vcd.begin()
+        text = stream.getvalue()
+        assert "$timescale 1ns $end" in text
+        assert "$scope module dut $end" in text
+        assert "$var wire 1" in text and "$var wire 8" in text
+        assert "$enddefinitions $end" in text
+
+    def test_change_encoding(self):
+        stream, vcd = self._writer()
+        vcd.declare("clk", 1)
+        vcd.declare("bus", 8)
+        vcd.begin()
+        vcd.change(0, "clk", 1)
+        vcd.change(0, "bus", 0xA5)
+        vcd.change(10, "clk", 0)
+        vcd.close()
+        text = stream.getvalue()
+        assert "#0\n" in text and "#10\n" in text
+        assert "b10100101 " in text  # multi-bit value
+        # Single-bit values use the compact form.
+        lines = text.splitlines()
+        assert any(line.startswith("1") and len(line) <= 3 for line in lines)
+
+    def test_no_redundant_changes(self):
+        stream, vcd = self._writer()
+        vcd.declare("sig", 4)
+        vcd.begin()
+        vcd.change(0, "sig", 5)
+        before = stream.getvalue()
+        vcd.change(1, "sig", 5)  # unchanged: suppressed
+        assert stream.getvalue() == before
+
+    def test_time_must_be_monotone(self):
+        stream, vcd = self._writer()
+        vcd.declare("sig", 1)
+        vcd.begin()
+        vcd.change(10, "sig", 1)
+        with pytest.raises(ValueError):
+            vcd.change(5, "sig", 0)
+
+    def test_declare_after_begin_rejected(self):
+        __, vcd = self._writer()
+        vcd.begin()
+        with pytest.raises(RuntimeError):
+            vcd.declare("late", 1)
+
+    def test_change_before_begin_rejected(self):
+        __, vcd = self._writer()
+        vcd.declare("sig", 1)
+        with pytest.raises(RuntimeError):
+            vcd.change(0, "sig", 1)
+
+    def test_undeclared_variable_rejected(self):
+        __, vcd = self._writer()
+        vcd.declare("sig", 1)
+        vcd.begin()
+        with pytest.raises(KeyError):
+            vcd.change(0, "ghost", 1)
+
+    def test_duplicate_declaration_rejected(self):
+        __, vcd = self._writer()
+        vcd.declare("sig", 1)
+        with pytest.raises(ValueError):
+            vcd.declare("sig", 2)
+
+    def test_snapshot_records_known_names(self):
+        stream, vcd = self._writer()
+        vcd.declare("a", 4)
+        vcd.declare("b", 4)
+        vcd.begin()
+        vcd.snapshot(0, {"a": 1, "b": 2, "ignored": 3})
+        text = stream.getvalue()
+        assert "b1 " in text and "b10 " in text
+
+
+class TestDumpFsmdRun:
+    def test_dump_root_run(self):
+        netlist = synthesize(root_function(16), width=16)
+        stimulus = [{"start": 1, "arg_n": 81}]
+        stimulus += [{"start": 0, "arg_n": 0}] * 40
+        stream = io.StringIO()
+        cycles = dump_fsmd_run(netlist, stimulus, stream)
+        assert cycles == 41
+        text = stream.getvalue()
+        assert "fsmd_root" in text
+        assert "result_reg" in text
+        # The final result (isqrt(81) = 9 = 0b1001) must appear.
+        assert "b1001 " in text
+
+    def test_signal_selection(self):
+        netlist = synthesize(root_function(16), width=16)
+        stream = io.StringIO()
+        dump_fsmd_run(netlist, [{"start": 1, "arg_n": 4}], stream,
+                      signals=["state", "done"])
+        text = stream.getvalue()
+        assert "state" in text and "done" in text
+        assert "v_x" not in text

@@ -1,0 +1,224 @@
+"""Tests for the IR interpreter: semantics, coverage, faults, journals."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.swir import (
+    BinOp,
+    Call,
+    Const,
+    FunctionBuilder,
+    Interpreter,
+    InterpError,
+    ProgramBuilder,
+    UnOp,
+    Var,
+)
+from repro.swir.interp import Fault, _wrap
+
+
+def build_program(body_fn, params=("x",), name="main", extra_functions=()):
+    fb = FunctionBuilder(name, list(params))
+    body_fn(fb)
+    pb = ProgramBuilder(name)
+    pb.add(fb)
+    for function in extra_functions:
+        pb.add(function)
+    return pb.build()
+
+
+class TestArithmetic:
+    def test_c_like_division_truncates_toward_zero(self):
+        prog = build_program(lambda fb: fb.ret(
+            BinOp("/", Var("x"), Const(2))))
+        interp = Interpreter(prog)
+        assert interp.run([7]).returned == 3
+        assert interp.run([-7]).returned == -3
+
+    def test_modulo_sign_follows_dividend(self):
+        prog = build_program(lambda fb: fb.ret(
+            BinOp("%", Var("x"), Const(3))))
+        interp = Interpreter(prog)
+        assert interp.run([7]).returned == 1
+        assert interp.run([-7]).returned == -1
+
+    def test_division_by_zero(self):
+        prog = build_program(lambda fb: fb.ret(BinOp("/", Var("x"), Const(0))))
+        with pytest.raises(InterpError):
+            Interpreter(prog).run([1])
+
+    def test_overflow_wraps_32bit(self):
+        prog = build_program(lambda fb: fb.ret(
+            BinOp("+", Var("x"), Const(1))))
+        assert Interpreter(prog).run([2**31 - 1]).returned == -(2**31)
+
+    def test_shifts(self):
+        prog = build_program(lambda fb: fb.ret(
+            BinOp("<<", Var("x"), Const(4))))
+        assert Interpreter(prog).run([3]).returned == 48
+        prog2 = build_program(lambda fb: fb.ret(
+            BinOp(">>", Var("x"), Const(2))))
+        assert Interpreter(prog2).run([-8]).returned == -2  # arithmetic
+
+    def test_logic_short_circuit(self):
+        # (x != 0) && (10 / x > 1): must not divide when x == 0.
+        prog = build_program(lambda fb: fb.ret(BinOp(
+            "&&", BinOp("!=", Var("x"), Const(0)),
+            BinOp(">", BinOp("/", Const(10), Var("x")), Const(1)))))
+        interp = Interpreter(prog)
+        assert interp.run([0]).returned == 0
+        assert interp.run([5]).returned == 1
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(-2**31, 2**31 - 1), st.integers(-2**31, 2**31 - 1))
+    def test_wrap_is_involutive_for_sums(self, a, b):
+        assert _wrap(_wrap(a) + _wrap(b)) == _wrap(a + b)
+
+
+class TestControlFlow:
+    def test_while_loop_sum(self):
+        def body(fb):
+            fb.assign("acc", Const(0))
+            fb.assign("i", Const(0))
+            with fb.while_(BinOp("<", Var("i"), Var("x"))):
+                fb.assign("acc", BinOp("+", Var("acc"), Var("i")))
+                fb.assign("i", BinOp("+", Var("i"), Const(1)))
+            fb.ret(Var("acc"))
+
+        prog = build_program(body)
+        assert Interpreter(prog).run([5]).returned == 10
+
+    def test_nested_if(self):
+        def body(fb):
+            with fb.if_else(BinOp(">", Var("x"), Const(0))) as orelse:
+                with fb.if_(BinOp(">", Var("x"), Const(10))):
+                    fb.ret(Const(2))
+                fb.ret(Const(1))
+            with orelse():
+                fb.ret(Const(0))
+
+        prog = build_program(body)
+        interp = Interpreter(prog)
+        assert interp.run([20]).returned == 2
+        assert interp.run([5]).returned == 1
+        assert interp.run([-1]).returned == 0
+
+    def test_step_limit(self):
+        def body(fb):
+            with fb.while_(Const(1)):
+                fb.assign("x", Const(0))
+            fb.ret()
+
+        prog = build_program(body)
+        with pytest.raises(InterpError, match="step limit"):
+            Interpreter(prog, max_steps=1000).run([0])
+
+    def test_function_calls(self):
+        callee = FunctionBuilder("double", ["v"])
+        callee.ret(BinOp("*", Var("v"), Const(2)))
+        prog = build_program(
+            lambda fb: fb.ret(Call("double", (Var("x"),))),
+            extra_functions=[callee.build()],
+        )
+        assert Interpreter(prog).run([21]).returned == 42
+
+    def test_externals(self):
+        prog = build_program(lambda fb: fb.ret(Call("host_sq", (Var("x"),))))
+        interp = Interpreter(prog, externals={"host_sq": lambda v: v * v})
+        assert interp.run([9]).returned == 81
+
+    def test_unknown_function(self):
+        prog = build_program(lambda fb: fb.ret(Call("missing", ())))
+        with pytest.raises(InterpError, match="unknown function"):
+            Interpreter(prog).run([0])
+
+    def test_input_validation(self):
+        prog = build_program(lambda fb: fb.ret(Var("x")))
+        interp = Interpreter(prog)
+        with pytest.raises(InterpError):
+            interp.run([1, 2])
+        with pytest.raises(InterpError):
+            interp.run({})
+
+
+class TestCoverage:
+    def test_branch_and_statement_coverage(self):
+        def body(fb):
+            with fb.if_(BinOp(">", Var("x"), Const(0))):
+                fb.assign("y", Const(1))
+            fb.ret(Const(0))
+
+        prog = build_program(body)
+        interp = Interpreter(prog)
+        taken = interp.run([5]).coverage
+        if_sid = prog.main.body[0].sid
+        assert (if_sid, True) in taken.branches_hit
+        assert (if_sid, False) not in taken.branches_hit
+        not_taken = interp.run([-5]).coverage
+        assert (if_sid, False) in not_taken.branches_hit
+
+    def test_condition_coverage_atoms(self):
+        def body(fb):
+            with fb.if_(BinOp("&&", BinOp(">", Var("x"), Const(0)),
+                              BinOp("<", Var("x"), Const(10)))):
+                fb.assign("y", Const(1))
+            fb.ret(Const(0))
+
+        prog = build_program(body)
+        result = Interpreter(prog).run([5])
+        # Both atoms evaluated True once.
+        assert len(result.coverage.conditions_hit) == 2
+        result2 = Interpreter(prog).run([-5])
+        # Short circuit: only the first atom evaluated (False).
+        assert len(result2.coverage.conditions_hit) == 1
+
+    def test_uninitialized_read_reported(self):
+        prog = build_program(lambda fb: fb.ret(BinOp("+", Var("x"), Var("ghost"))))
+        result = Interpreter(prog).run([1])
+        assert result.uninitialized_reads == ["ghost"]
+        assert result.returned == 1  # ghost reads as 0
+
+
+class TestFaults:
+    def test_fault_flips_assigned_bit(self):
+        def body(fb):
+            fb.assign("y", Const(0))
+            fb.ret(Var("y"))
+
+        prog = build_program(body, params=())
+        sid = prog.main.body[0].sid
+        interp = Interpreter(prog)
+        assert interp.run([]).returned == 0
+        faulty = interp.run([], fault=Fault(sid, 3, 1))
+        assert faulty.returned == 8
+
+    def test_fault_stuck_zero(self):
+        def body(fb):
+            fb.assign("y", Const(0xFF))
+            fb.ret(Var("y"))
+
+        prog = build_program(body, params=())
+        sid = prog.main.body[0].sid
+        faulty = Interpreter(prog).run([], fault=Fault(sid, 0, 0))
+        assert faulty.returned == 0xFE
+
+
+class TestFpgaJournal:
+    def test_journal_and_violations(self):
+        def body(fb):
+            fb.reconfigure("config1")
+            fb.fpga_call("DIST", (Var("x"),), target="d")
+            fb.fpga_call("ROOT", (Var("d"),), target="r")  # wrong context!
+            fb.ret(Var("r"))
+
+        prog = build_program(body)
+        interp = Interpreter(
+            prog,
+            externals={"DIST": lambda v: v * 2, "ROOT": lambda v: v // 2},
+            context_map={"DIST": "config1", "ROOT": "config2"},
+        )
+        result = interp.run([10])
+        assert result.returned == 10
+        assert result.fpga_journal == [("DIST", "config1"), ("ROOT", "config1")]
+        assert result.consistency_violations == ["ROOT"]

@@ -1,0 +1,51 @@
+"""Tests for the command-line driver."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+WORKLOAD = ["--identities", "2", "--poses", "1", "--size", "32",
+            "--frames", "1"]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for command in ("topology", "flow", "explore", "verify", "wave"):
+            args = parser.parse_args([command])
+            assert callable(args.func)
+
+
+class TestCommands:
+    def test_topology(self, capsys):
+        assert main(["topology", *WORKLOAD]) == 0
+        out = capsys.readouterr().out
+        assert "13 modules" in out
+
+    def test_verify(self, capsys):
+        assert main(["verify", *WORKLOAD]) == 0
+        out = capsys.readouterr().out
+        assert "deadlock-free" in out
+
+    def test_explore(self, capsys):
+        assert main(["explore", *WORKLOAD, "--max-hw", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "all-sw" in out and "objective" in out
+
+    def test_wave(self, tmp_path, capsys):
+        out_file = tmp_path / "trace.vcd"
+        assert main(["wave", "--value", "49", "--cycles", "40",
+                     "--out", str(out_file)]) == 0
+        text = out_file.read_text()
+        assert "$enddefinitions" in text
+        assert "b111 " in text  # isqrt(49) = 7
+
+    def test_flow_small(self, capsys):
+        assert main(["flow", *WORKLOAD]) == 0
+        out = capsys.readouterr().out
+        assert "level 4" in out
+        assert "simulation speed ratio" in out

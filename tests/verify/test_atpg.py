@@ -1,0 +1,209 @@
+"""Tests for the ATPG (Laerte++) subsystem."""
+
+import pytest
+
+from repro.swir import (
+    BinOp,
+    Const,
+    FunctionBuilder,
+    Interpreter,
+    ProgramBuilder,
+    Var,
+)
+from repro.verify.atpg import (
+    GaConfig,
+    GeneticGenerator,
+    Laerte,
+    SatTpg,
+    enumerate_faults,
+    measure_coverage,
+    simulate_fault,
+)
+from repro.verify.atpg.coverage import coverage_totals
+from repro.verify.atpg.faults import fault_coverage
+
+
+def simple_program():
+    """max(x, y) with a multiply on one path."""
+    fb = FunctionBuilder("main", ["x", "y"])
+    with fb.if_else(BinOp(">", Var("x"), Var("y"))) as orelse:
+        fb.assign("r", Var("x"))
+    with orelse():
+        fb.assign("r", BinOp("*", Var("y"), Const(2)))
+    fb.ret(Var("r"))
+    return ProgramBuilder().add(fb).build()
+
+
+def hard_branch_program():
+    """Branch requiring x * 5 - y == 12345 (hard for random/GA)."""
+    fb = FunctionBuilder("main", ["x", "y"])
+    fb.assign("r", Const(0))
+    with fb.if_(BinOp("==", BinOp("-", BinOp("*", Var("x"), Const(5)),
+                                 Var("y")), Const(12345))):
+        fb.assign("r", Const(1))
+    fb.ret(Var("r"))
+    return ProgramBuilder().add(fb).build()
+
+
+class TestCoverage:
+    def test_totals_enumeration(self):
+        totals = coverage_totals(simple_program())
+        assert len(totals.branches) == 2  # one decision, two outcomes
+        assert len(totals.conditions) == 2
+        assert len(totals.statements) == 4
+
+    def test_measure_over_vectors(self):
+        prog = simple_program()
+        interp = Interpreter(prog)
+        report = measure_coverage(interp, [[5, 1]])
+        assert report.statement_coverage < 1.0  # else branch untouched
+        report_full = measure_coverage(interp, [[5, 1], [1, 5]])
+        assert report_full.statement_coverage == 1.0
+        assert report_full.branch_coverage == 1.0
+
+    def test_describe(self):
+        prog = simple_program()
+        report = measure_coverage(Interpreter(prog), [[1, 2]])
+        assert "statement" in report.describe()
+
+    def test_uncovered_branches_listing(self):
+        prog = simple_program()
+        report = measure_coverage(Interpreter(prog), [[5, 1]])
+        uncovered = report.uncovered_branches()
+        assert len(uncovered) == 1
+        assert uncovered[0][1] is False
+
+
+class TestFaults:
+    def test_enumeration_counts(self):
+        prog = simple_program()
+        faults = enumerate_faults(prog, bit_width=4)
+        # Two assignments x 4 bits x 2 polarities.
+        assert len(faults) == 16
+
+    def test_detectable_fault(self):
+        prog = simple_program()
+        interp = Interpreter(prog)
+        faults = enumerate_faults(prog, bit_width=4)
+        # Vector [9, 1]: takes then-branch, r = 9 (0b1001): bit0 stuck-0
+        # changes the output.
+        target = next(f for f in faults if f.bit == 0 and f.stuck == 0)
+        result = simulate_fault(interp, target, [[9, 1]])
+        assert result.detected
+
+    def test_undetectable_without_propagation(self):
+        prog = simple_program()
+        interp = Interpreter(prog)
+        faults = enumerate_faults(prog, bit_width=4)
+        # Fault on the else-branch assignment is invisible to a
+        # then-branch-only test set.
+        else_sid = prog.main.body[0].else_body[0].sid
+        fault = next(f for f in faults if f.sid == else_sid)
+        result = simulate_fault(interp, fault, [[9, 1]])
+        assert not result.detected
+
+    def test_fault_coverage_improves_with_vectors(self):
+        prog = simple_program()
+        interp = Interpreter(prog)
+        faults = enumerate_faults(prog, bit_width=4)
+        __, cov_one = fault_coverage(interp, faults, [[9, 1]])
+        __, cov_two = fault_coverage(interp, faults, [[9, 1], [1, 9]])
+        assert cov_two > cov_one
+
+    def test_no_vectors_zero_coverage(self):
+        prog = simple_program()
+        interp = Interpreter(prog)
+        faults = enumerate_faults(prog, bit_width=2)
+        __, cov = fault_coverage(interp, faults, [])
+        assert cov == 0.0
+
+
+class TestGenetic:
+    def test_reaches_full_branch_coverage_on_simple(self):
+        prog = simple_program()
+        ga = GeneticGenerator(Interpreter(prog),
+                              GaConfig(population=10, generations=10, seed=3))
+        vectors = ga.run()
+        report = measure_coverage(Interpreter(prog), vectors)
+        assert report.branch_coverage == 1.0
+
+    def test_selected_vectors_all_add_coverage(self):
+        prog = simple_program()
+        ga = GeneticGenerator(Interpreter(prog))
+        vectors = ga.run()
+        assert 1 <= len(vectors) <= 4
+
+    def test_parameterless_program(self):
+        fb = FunctionBuilder("main", [])
+        fb.assign("x", Const(1))
+        fb.ret(Var("x"))
+        prog = ProgramBuilder().add(fb).build()
+        ga = GeneticGenerator(Interpreter(prog))
+        assert ga.run() == [[]]
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            GaConfig(population=1)
+        with pytest.raises(ValueError):
+            GaConfig(mutation_rate=2.0)
+        with pytest.raises(ValueError):
+            GaConfig(value_min=10, value_max=0)
+
+
+class TestSatTpg:
+    def test_hits_hard_branch(self):
+        prog = hard_branch_program()
+        branch_sid = prog.main.body[1].sid
+        tpg = SatTpg(prog)
+        vector = tpg.generate_for_branch(branch_sid, True)
+        assert vector is not None
+        x, y = vector
+        assert x * 5 - y == 12345
+
+    def test_infeasible_branch_returns_none(self):
+        fb = FunctionBuilder("main", ["x"])
+        with fb.if_(BinOp("!=", BinOp("-", Var("x"), Var("x")), Const(0))):
+            fb.assign("dead", Const(1))
+        fb.ret(Const(0))
+        prog = ProgramBuilder().add(fb).build()
+        branch_sid = prog.main.body[0].sid
+        assert SatTpg(prog).generate_for_branch(branch_sid, True) is None
+
+    def test_loop_dependent_branch(self):
+        """Branch on a value accumulated by a loop (needs unrolling)."""
+        fb = FunctionBuilder("main", ["n"])
+        fb.assign("acc", Const(0))
+        fb.assign("i", Const(0))
+        with fb.while_(BinOp("<", Var("i"), Var("n"))):
+            fb.assign("acc", BinOp("+", Var("acc"), Const(3)))
+            fb.assign("i", BinOp("+", Var("i"), Const(1)))
+        with fb.if_(BinOp("==", Var("acc"), Const(9))):
+            fb.assign("hit", Const(1))
+        fb.ret(Const(0))
+        prog = ProgramBuilder().add(fb).build()
+        branch_sid = prog.main.body[3].sid
+        vector = SatTpg(prog).generate_for_branch(branch_sid, True)
+        assert vector == [3]
+
+
+class TestLaerteCampaign:
+    def test_full_campaign_on_hard_program(self):
+        campaign = Laerte(hard_branch_program(), random_vectors=8).run()
+        assert campaign.coverage.branch_coverage == 1.0
+        assert campaign.sat_vectors >= 1
+        assert "Laerte" in campaign.describe()
+
+    def test_memory_inspection(self):
+        fb = FunctionBuilder("main", ["x"])
+        with fb.if_(BinOp(">", Var("x"), Const(0))):
+            fb.assign("buf", Const(1))
+        fb.ret(BinOp("+", Var("x"), Var("buf")))  # buf may be uninitialised
+        prog = ProgramBuilder().add(fb).build()
+        campaign = Laerte(prog).run()
+        assert "buf" in campaign.coverage.uninitialized_reads
+        assert "memory inspection" in campaign.describe()
+
+    def test_bit_coverage_reported(self):
+        campaign = Laerte(simple_program()).run()
+        assert campaign.coverage.bit_faults_total > 0
+        assert 0 < campaign.coverage.bit_coverage <= 1.0

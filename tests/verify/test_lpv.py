@@ -1,0 +1,235 @@
+"""Tests for LPV: Petri nets, LP reachability, deadlock, real-time."""
+
+import pytest
+
+from repro.facerec import FacerecConfig, build_graph
+from repro.platform import ARM7TDMI, TimingAnnotator, profile_graph
+from repro.platform.taskgraph import AppGraph, ChannelSpec, TaskSpec
+from repro.verify.lpv import (
+    PetriError,
+    PetriNet,
+    check_deadline,
+    check_deadlock_freedom,
+    check_submarking_unreachable,
+    graph_to_petri,
+    place_invariants,
+    size_fifos,
+)
+from repro.verify.lpv.reach import ReachVerdict, invariant_token_count
+
+
+def simple_net():
+    """p0 -(t0)-> p1 -(t1)-> p2, one token at p0."""
+    net = PetriNet("line")
+    net.add_place("p0", 1)
+    net.add_place("p1", 0)
+    net.add_place("p2", 0)
+    net.add_transition("t0")
+    net.add_transition("t1")
+    net.add_arc("p0", "t0")
+    net.add_arc("t0", "p1")
+    net.add_arc("p1", "t1")
+    net.add_arc("t1", "p2")
+    return net
+
+
+def credit_graph():
+    graph = AppGraph("credit")
+    graph.add_task(TaskSpec("A", lambda s, i: {"data": 1},
+                            reads=("credit",), writes=("data",)))
+    graph.add_task(TaskSpec("B", lambda s, i: {"credit": 1},
+                            reads=("data",), writes=("credit",)))
+    graph.add_channel(ChannelSpec("data", "A", "B", 1, capacity=1))
+    graph.add_channel(ChannelSpec("credit", "B", "A", 1, capacity=1))
+    return graph
+
+
+class TestPetriNet:
+    def test_construction_validation(self):
+        net = PetriNet("n")
+        net.add_place("p", 1)
+        with pytest.raises(PetriError):
+            net.add_place("p")
+        with pytest.raises(PetriError):
+            net.add_place("q", tokens=-1)
+        net.add_transition("t")
+        with pytest.raises(PetriError):
+            net.add_transition("t")
+        with pytest.raises(PetriError):
+            net.add_arc("p", "p")
+
+    def test_token_game(self):
+        net = simple_net()
+        marking = dict(net.initial_marking)
+        assert net.enabled(marking, "t0")
+        assert not net.enabled(marking, "t1")
+        marking = net.fire(marking, "t0")
+        assert marking["p0"] == 0 and marking["p1"] == 1
+        with pytest.raises(PetriError):
+            net.fire(marking, "t0")
+        marking = net.fire(marking, "t1")
+        assert net.is_dead(marking)
+
+    def test_incidence_matrix(self):
+        net = simple_net()
+        c = net.incidence_matrix()
+        pi, ti = net.place_index(), net.transition_index()
+        assert c[pi["p0"], ti["t0"]] == -1
+        assert c[pi["p1"], ti["t0"]] == 1
+        assert c[pi["p1"], ti["t1"]] == -1
+
+    def test_run_greedy_terminates(self):
+        net = simple_net()
+        final, fired = net.run_greedy()
+        assert fired == 2
+        assert final["p2"] == 1
+
+
+class TestReachability:
+    def test_unreachable_proved(self):
+        net = simple_net()
+        # Two tokens anywhere is impossible: total tokens invariant = 1.
+        result = check_submarking_unreachable(net, [("p2", ">=", 2)])
+        assert result.proven_unreachable
+
+    def test_reachable_is_inconclusive_but_flagged(self):
+        net = simple_net()
+        result = check_submarking_unreachable(net, [("p2", "==", 1)])
+        assert result.verdict is ReachVerdict.POSSIBLY_REACHABLE
+        assert result.sigma  # firing count witness present
+
+    def test_bad_constraint_rejected(self):
+        net = simple_net()
+        with pytest.raises(ValueError):
+            check_submarking_unreachable(net, [("p0", "~", 1)])
+        with pytest.raises(ValueError):
+            check_submarking_unreachable(net, [("nope", "==", 0)])
+
+    def test_place_invariants_of_line(self):
+        net = simple_net()
+        invariants = place_invariants(net)
+        # p0 + p1 + p2 is conserved.
+        assert any(
+            set(inv) == {"p0", "p1", "p2"} and set(inv.values()) == {1}
+            for inv in invariants
+        )
+        for inv in invariants:
+            assert invariant_token_count(net, inv) >= 0
+
+    def test_channel_invariants_in_translated_net(self):
+        graph = credit_graph()
+        net = graph_to_petri(graph, initial_tokens={"credit": 1})
+        invariants = place_invariants(net)
+        assert any(
+            set(inv) == {"data.data", "data.free"} for inv in invariants
+        )
+
+
+class TestTranslation:
+    def test_structure(self):
+        graph = credit_graph()
+        net = graph_to_petri(graph, initial_tokens={"credit": 1})
+        assert set(net.transitions) == {"A", "B"}
+        assert "data.data" in net.places and "credit.free" in net.places
+        assert net.initial_marking["credit.data"] == 1
+        assert net.initial_marking["credit.free"] == 0
+
+    def test_overfull_initial_tokens_rejected(self):
+        graph = credit_graph()
+        with pytest.raises(ValueError):
+            graph_to_petri(graph, initial_tokens={"credit": 5})
+
+    def test_source_gets_run_place(self):
+        graph = build_graph(FacerecConfig(identities=2, poses=1, size=32))
+        net = graph_to_petri(graph)
+        assert "CAMERA.run" in net.places
+        net_finite = graph_to_petri(graph, unbounded_sources=False)
+        assert "CAMERA.run" not in net_finite.places
+
+    def test_token_game_simulates_pipeline(self):
+        graph = credit_graph()
+        net = graph_to_petri(graph, initial_tokens={"credit": 1})
+        final, fired = net.run_greedy(max_firings=10)
+        assert fired == 10  # live: keeps cycling
+
+
+class TestDeadlock:
+    def test_seeded_deadlock_confirmed(self):
+        net = graph_to_petri(credit_graph())  # no initial credit
+        report = check_deadlock_freedom(net)
+        assert not report.deadlock_free
+        assert report.confirmed  # BFS found an actual dead marking
+
+    def test_repaired_model_proved_free(self):
+        net = graph_to_petri(credit_graph(), initial_tokens={"credit": 1})
+        report = check_deadlock_freedom(net)
+        assert report.deadlock_free
+        assert report.lp_calls > 0
+        assert "deadlock-free" in report.describe()
+
+    def test_facerec_graph_deadlock_free(self):
+        graph = build_graph(FacerecConfig(identities=2, poses=1, size=32))
+        net = graph_to_petri(graph)
+        report = check_deadlock_freedom(net, confirm=False)
+        assert report.deadlock_free
+        # LP pruning keeps the proof tractable.
+        assert report.lp_calls < 1_000
+
+    def test_sourceless_transition_shortcut(self):
+        net = PetriNet("free")
+        net.add_place("p", 0)
+        net.add_transition("t")
+        net.add_arc("t", "p")  # no inputs: always enabled
+        report = check_deadlock_freedom(net)
+        assert report.deadlock_free
+
+
+class TestRealtime:
+    @pytest.fixture(scope="class")
+    def annotated(self):
+        graph = build_graph(FacerecConfig(identities=2, poses=1, size=32))
+        from repro.facerec.camera import CameraConfig, FaceSampler
+        frames = FaceSampler(CameraConfig(size=32)).frames([(0, 0)])
+        profile = profile_graph(graph, {"CAMERA": frames})
+        annotations = TimingAnnotator(ARM7TDMI).annotate(
+            graph, profile, set(graph.tasks), set())
+        return graph, annotations
+
+    def test_deadline_proof_and_violation(self, annotated):
+        graph, annotations = annotated
+        loose = check_deadline(graph, annotations, deadline_ps=10**13)
+        assert loose.holds
+        tight = check_deadline(graph, annotations, deadline_ps=1)
+        assert not tight.holds
+        assert loose.latency_ps == tight.latency_ps
+
+    def test_critical_path_is_a_real_path(self, annotated):
+        graph, annotations = annotated
+        report = check_deadline(graph, annotations, deadline_ps=10**13)
+        path = report.critical_path
+        assert path[0] == "CAMERA"
+        assert path[-1] == "WINNER"
+        for src, dst in zip(path, path[1:]):
+            assert graph.channels_between(src, dst)
+
+    def test_latency_increases_with_transfer_cost(self, annotated):
+        graph, annotations = annotated
+        fast = check_deadline(graph, annotations, 10**13, transfer_ps_per_word=0)
+        slow = check_deadline(graph, annotations, 10**13,
+                              transfer_ps_per_word=50_000)
+        assert slow.latency_ps > fast.latency_ps
+
+    def test_fifo_sizing_bounds_hold_in_simulation(self, annotated):
+        """LP capacities suffice: the untimed model respects them."""
+        graph, annotations = annotated
+        sizing = size_fifos(graph, annotations, transfer_ps_per_word=20_000)
+        assert set(sizing.capacities) == set(graph.channels)
+        assert all(cap >= 1 for cap in sizing.capacities.values())
+        # The paper's point: LP dimensioning avoids over-allocation; all
+        # single-rate chains here need small constant capacity.
+        assert max(sizing.capacities.values()) <= 8
+
+    def test_fifo_sizing_describe(self, annotated):
+        graph, annotations = annotated
+        sizing = size_fifos(graph, annotations)
+        assert "capacity" in sizing.describe()

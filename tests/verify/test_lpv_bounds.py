@@ -1,0 +1,78 @@
+"""Tests for LP structural place bounds."""
+
+import pytest
+
+from repro.facerec import FacerecConfig, build_graph
+from repro.platform.taskgraph import AppGraph, ChannelSpec, TaskSpec
+from repro.verify.lpv import channel_bounds, graph_to_petri, place_bound
+from repro.verify.lpv.petri import PetriNet
+
+
+def chain_graph(capacity=3):
+    graph = AppGraph("chain")
+    graph.add_task(TaskSpec("SRC", lambda s, i: {}, writes=("c",)))
+    graph.add_task(TaskSpec("DST", lambda s, i: {}, reads=("c",)))
+    graph.add_channel(ChannelSpec("c", "SRC", "DST", 1, capacity=capacity))
+    return graph
+
+
+class TestPlaceBound:
+    def test_channel_bounded_by_capacity(self):
+        net = graph_to_petri(chain_graph(capacity=3))
+        bound = place_bound(net, "c.data")
+        assert bound.bounded
+        assert bound.bound == 3  # data + free invariant caps the channel
+
+    def test_free_place_bound(self):
+        net = graph_to_petri(chain_graph(capacity=5))
+        assert place_bound(net, "c.free").bound == 5
+
+    def test_unknown_place(self):
+        net = graph_to_petri(chain_graph())
+        with pytest.raises(ValueError):
+            place_bound(net, "ghost")
+
+    def test_unbounded_place_detected(self):
+        # A source feeding a place nobody consumes: structurally unbounded.
+        net = PetriNet("unbounded")
+        net.add_place("run", 1)
+        net.add_place("sink", 0)
+        net.add_transition("t")
+        net.add_arc("run", "t")
+        net.add_arc("t", "run")
+        net.add_arc("t", "sink")
+        bound = place_bound(net, "sink")
+        assert not bound.bounded
+
+    def test_conserved_line_bound(self):
+        # p0 -(t)-> p1 with one token: both places bounded by 1.
+        net = PetriNet("line")
+        net.add_place("p0", 1)
+        net.add_place("p1", 0)
+        net.add_transition("t")
+        net.add_arc("p0", "t")
+        net.add_arc("t", "p1")
+        assert place_bound(net, "p1").bound == 1
+
+
+class TestChannelBounds:
+    def test_facerec_channels_all_bounded(self):
+        graph = build_graph(FacerecConfig(identities=2, poses=1, size=32))
+        net = graph_to_petri(graph)
+        report = channel_bounds(net)
+        assert report.all_bounded
+        assert len(report.bounds) == len(graph.channels)
+        # Every LP bound equals the declared capacity (data+free invariant).
+        for chan in graph.channels.values():
+            assert report.bounds[f"{chan.name}.data"].bound == chan.capacity
+
+    def test_channel_filter(self):
+        graph = build_graph(FacerecConfig(identities=2, poses=1, size=32))
+        net = graph_to_petri(graph)
+        report = channel_bounds(net, channels=["c_frame"])
+        assert set(report.bounds) == {"c_frame.data"}
+
+    def test_describe(self):
+        net = graph_to_petri(chain_graph())
+        text = channel_bounds(net).describe()
+        assert "c.data" in text and "<=" in text
