@@ -1,28 +1,30 @@
 """Shared fixtures for the experiment benches.
 
 Every bench regenerates one table/figure/claim of the paper (see
-DESIGN.md, "Experiments to reproduce").  The workload is the full-size
-case study: 20 identities x 3 poses, 64x64 frames — the paper's "database
-of twenty different faces under multiple poses" captured by a
-"low-resolution CMOS camera".
+README.md, "Benchmarks").  The workload is the full-size case study: 20
+identities x 3 poses, 64x64 frames — the paper's "database of twenty
+different faces under multiple poses" captured by a "low-resolution CMOS
+camera" — owned by one shared :class:`repro.api.Session` so the
+enrolled database, frames and profile are computed once and every bench
+draws on the same cached stage results.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.facerec import (
-    CameraConfig,
-    FaceSampler,
-    FacerecConfig,
-    ReferenceModel,
-    build_graph,
-    enroll_database,
-)
-from repro.platform.profiler import profile_graph
+from repro.api import CampaignSpec, Session
 
-FULL_CONFIG = FacerecConfig(identities=20, poses=3, size=64)
-FRAME_COUNT = 5
+#: The paper's full-size campaign (deadline 1 ms as in the level bench).
+FULL_SPEC = CampaignSpec(
+    name="paper-full",
+    identities=20,
+    poses=3,
+    size=64,
+    frames=5,
+    noise_sigma=2.0,
+    deadline_ms=1000.0,
+)
 
 
 def paper_row(exp_id: str, quantity: str, paper: str, measured: str) -> None:
@@ -31,20 +33,23 @@ def paper_row(exp_id: str, quantity: str, paper: str, measured: str) -> None:
 
 
 @pytest.fixture(scope="session")
-def workload():
-    """(graph, frames, shots, database, profile) for the full case study."""
-    database = enroll_database(FULL_CONFIG.identities, FULL_CONFIG.poses,
-                               FULL_CONFIG.size)
-    graph = build_graph(FULL_CONFIG, database)
-    sampler = FaceSampler(CameraConfig(size=FULL_CONFIG.size, noise_sigma=2.0))
-    shots = [(i % FULL_CONFIG.identities, (i * 7) % FULL_CONFIG.poses)
-             for i in range(FRAME_COUNT)]
-    frames = sampler.frames(shots)
-    profile = profile_graph(graph, {"CAMERA": frames})
-    return graph, frames, shots, database, profile
+def flow_session() -> Session:
+    """The shared campaign session for the full-size case study."""
+    return Session(FULL_SPEC)
 
 
 @pytest.fixture(scope="session")
-def reference_model(workload):
-    __, __, __, database, __ = workload
-    return ReferenceModel(database)
+def workload(flow_session):
+    """(graph, frames, shots, database, profile) for the full case study."""
+    return (
+        flow_session.graph,
+        flow_session.frames,
+        flow_session.shots,
+        flow_session.database,
+        flow_session.value("profile"),
+    )
+
+
+@pytest.fixture(scope="session")
+def reference_model(flow_session):
+    return flow_session.reference

@@ -17,44 +17,28 @@ than level 2.
 import pytest
 
 from benchmarks.conftest import paper_row
-from repro.facerec import case_study_partition
 from repro.flow import run_level1, run_level2, run_level3
-from repro.flow.methodology import REFERENCE_CHANNELS
 from repro.platform.cpu import ARM7TDMI
 
 
 @pytest.fixture(scope="module")
-def reference_trace(workload, reference_model):
-    __, frames, __, __, __ = workload
-    from repro.facerec.tracing import Trace
-    events = []
-    for frame in frames:
-        reference_model.recognize(frame, trace=events)
-    return Trace.from_reference_events("reference", events)
+def reference_trace(flow_session):
+    return flow_session.value("reference")
 
 
 @pytest.fixture(scope="module")
-def level1_result(workload, reference_trace):
-    graph, frames, __, __, __ = workload
-    return run_level1(graph, {"CAMERA": frames},
-                      reference_trace=reference_trace,
-                      compare_channels=REFERENCE_CHANNELS)
+def level1_result(flow_session):
+    return flow_session.value("level1")
 
 
 @pytest.fixture(scope="module")
-def level2_result(workload, level1_result):
-    graph, frames, __, __, profile = workload
-    partition = case_study_partition(graph)
-    return run_level2(graph, partition, {"CAMERA": frames}, profile=profile,
-                      level1_trace=level1_result.trace, deadline_ps=10**12)
+def level2_result(flow_session):
+    return flow_session.value("level2")
 
 
 @pytest.fixture(scope="module")
-def level3_result(workload, level1_result):
-    graph, frames, __, __, profile = workload
-    partition = case_study_partition(graph, with_fpga=True)
-    return run_level3(graph, partition, {"CAMERA": frames}, profile=profile,
-                      reference_trace=level1_result.trace)
+def level3_result(flow_session):
+    return flow_session.value("level3")
 
 
 def test_level1_sim_time(benchmark, workload):
@@ -83,10 +67,10 @@ def test_level1_functional_match(benchmark, level1_result, workload, reference_m
     assert hits == len(winners)
 
 
-def test_level2_sim_speed(benchmark, workload, level1_result):
+def test_level2_sim_speed(benchmark, workload, flow_session, level1_result):
     """E-L2-SPEED: simulation speed of the timed level-2 architecture."""
     graph, frames, __, __, profile = workload
-    partition = case_study_partition(graph)
+    partition = flow_session.value("partition")["timed"]
 
     result = benchmark.pedantic(
         lambda: run_level2(graph, partition, {"CAMERA": frames},
@@ -99,10 +83,10 @@ def test_level2_sim_speed(benchmark, workload, level1_result):
     assert speed_khz > 0
 
 
-def test_level3_sim_speed(benchmark, workload, level1_result):
+def test_level3_sim_speed(benchmark, workload, flow_session, level1_result):
     """E-L3-SPEED: simulation speed with reconfiguration modelling."""
     graph, frames, __, __, profile = workload
-    partition = case_study_partition(graph, with_fpga=True)
+    partition = flow_session.value("partition")["reconfigurable"]
 
     result = benchmark.pedantic(
         lambda: run_level3(graph, partition, {"CAMERA": frames},

@@ -9,26 +9,24 @@ across the partition — and what it does to the metrics.
 Run:  python examples/architecture_exploration.py
 """
 
-from repro.facerec import CameraConfig, FaceSampler, FacerecConfig, build_graph
+from repro.api import CampaignSpec, Session
 from repro.platform import (
     ARM9TDMI,
     Explorer,
     Side,
-    profile_graph,
     transformation2,
 )
 
 
 def main() -> None:
-    config = FacerecConfig(identities=8, poses=2, size=48)
-    graph = build_graph(config)
-    sampler = FaceSampler(CameraConfig(size=config.size, noise_sigma=1.5))
-    frames = sampler.frames([(i % config.identities, i % config.poses)
-                             for i in range(3)])
-    stimuli = {"CAMERA": frames}
+    session = Session(CampaignSpec(
+        name="exploration", identities=8, poses=2, size=48, frames=3,
+        noise_sigma=1.5))
+    graph = session.graph
+    stimuli = session.stimuli()
 
     print("profiling the level-1 application ...")
-    profile = profile_graph(graph, stimuli)
+    profile = session.value("profile")
     print(profile.describe())
     print()
 

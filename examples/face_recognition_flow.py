@@ -1,19 +1,22 @@
 """The full Symbad methodology on the face-recognition case study.
 
-Reproduces Section 4 of the paper end to end: enroll the 20-identity
-database, capture probe frames with the synthetic camera, then walk all
-four levels — untimed validation, timed architecture, reconfigurable
-refinement, RTL generation — with every cross-level consistency check
-and the per-level verification.
+Reproduces Section 4 of the paper end to end through the campaign API:
+declare the workload as a :class:`~repro.api.CampaignSpec`, let the
+:class:`~repro.api.Session` resolve the stage graph (reference model,
+untimed validation, profiling, partitioning, timed architecture,
+reconfigurable refinement, RTL generation), and read out the
+:class:`~repro.flow.FlowReport` with every cross-level consistency
+check.
 
-Run:  python examples/face_recognition_flow.py [--frames N] [--pcc]
+Run:  python examples/face_recognition_flow.py [--frames N] [--pcc] [--json]
 """
 
 import argparse
+import json
 import time
 
-from repro.facerec import FacerecConfig
-from repro.flow import SymbadFlow
+from repro.api import CampaignSpec, Session
+from repro.flow import topology_figure
 
 
 def main() -> None:
@@ -28,32 +31,41 @@ def main() -> None:
                         help="frame side in pixels (even)")
     parser.add_argument("--pcc", action="store_true",
                         help="also run the (slow) PCC property-coverage pass")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the machine-readable flow report")
     args = parser.parse_args()
 
-    config = FacerecConfig(identities=args.identities, poses=args.poses,
-                           size=args.size)
-    print(f"enrolling database: {config.identities} identities x "
-          f"{config.poses} poses at {config.size}x{config.size} ...")
+    spec = CampaignSpec(
+        name="face-recognition",
+        identities=args.identities,
+        poses=args.poses,
+        size=args.size,
+        frames=args.frames,
+        run_pcc=args.pcc,
+    )
+    print(f"enrolling database: {spec.identities} identities x "
+          f"{spec.poses} poses at {spec.size}x{spec.size} ...")
     start = time.perf_counter()
-    flow = SymbadFlow(config=config, frames=args.frames)
+    session = Session(spec)
+    session.database  # force the enrollment now, for honest timing below
     print(f"  done in {time.perf_counter() - start:.1f}s\n")
 
-    print(flow.topology())
+    print(topology_figure(session.graph))
     print()
 
     start = time.perf_counter()
-    report = flow.run(run_pcc=args.pcc)
+    report = session.report()
     elapsed = time.perf_counter() - start
 
-    print(report.describe())
-    print(f"\nwhole-flow wall time: {elapsed:.1f}s")
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.describe())
+    print(f"\nwhole-flow wall time: {elapsed:.1f}s "
+          f"(stages computed: {sorted(session.compute_counts)})")
 
     # The flow is only a success if every gate passed.
-    assert report.level1.matches_reference
-    assert report.level2.consistent_with_level1
-    assert report.level3.consistent_with_level2
-    assert report.level3.symbc.consistent
-    assert report.level4.verified
+    assert report.passed
     print("all cross-level consistency checks and verifications: PASSED")
 
 

@@ -13,33 +13,22 @@ bitstream bus share and frame latency for each.
 Run:  python examples/reconfiguration_tuning.py
 """
 
-from repro.facerec import (
-    CameraConfig,
-    FaceSampler,
-    FacerecConfig,
-    build_graph,
-    case_study_partition,
-)
+from repro.api import CampaignSpec, Session
 from repro.facerec.pipeline import GATE_COUNTS
-from repro.flow import run_level3
 from repro.fpga import BitstreamModel, ContextMapper
-from repro.platform.profiler import profile_graph
 
 RULE = "-" * 72
 
 
 def main() -> None:
-    config = FacerecConfig(identities=8, poses=2, size=48)
-    graph = build_graph(config)
-    frames = FaceSampler(CameraConfig(size=config.size)).frames(
-        [(i % config.identities, 0) for i in range(4)])
-    stimuli = {"CAMERA": frames}
-    profile = profile_graph(graph, stimuli)
-    partition = case_study_partition(graph, with_fpga=True)
+    base = Session(CampaignSpec(
+        name="reconfig-tuning", identities=8, poses=2, size=48, frames=4))
+    graph = base.graph
+    partition = base.value("partition")["reconfigurable"]
 
     fpga_tasks = sorted(partition.fpga_tasks)
     schedule = [t for t in graph.topological_order() if t in partition.fpga_tasks]
-    schedule = schedule * len(frames)
+    schedule = schedule * base.spec.frames
     gates = {t: GATE_COUNTS[t] for t in fpga_tasks}
 
     print("design-time sweep: context partitions x device capacity")
@@ -53,9 +42,12 @@ def main() -> None:
     print(RULE)
 
     print("\nsimulating both plans on the timed platform:")
+    # Prime the untimed stages once; derived sessions carry them over and
+    # only the capacity-sensitive level 3 is recomputed per device size.
+    base.run("level1")
+    base.run("profile")
     for capacity in (13_000, 20_000):
-        result = run_level3(graph, partition, stimuli, profile=profile,
-                            capacity_gates=capacity)
+        result = base.with_spec(capacity_gates=capacity).value("level3")
         metrics = result.metrics
         fpga = metrics.fpga_report
         words = metrics.bus_report["words"]

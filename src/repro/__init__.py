@@ -2,12 +2,14 @@
 
 A from-scratch reproduction of Borgatti et al., "An Integrated Design
 and Verification Methodology for Reconfigurable Multimedia Systems"
-(DATE 2004/2005).  See README.md for the architecture overview,
-DESIGN.md for the system inventory and EXPERIMENTS.md for the
-paper-vs-measured results.
+(DATE 2004/2005).  See the top-level README.md for the architecture
+overview and the campaign API guide.
 
 Package map:
 
+- :mod:`repro.api` — the composable campaign API: stage registry,
+  sessions with cached intermediate results, declarative campaign
+  specs and grid sweeps;
 - :mod:`repro.kernel` — discrete-event simulation kernel;
 - :mod:`repro.tlm` — transaction-level communication;
 - :mod:`repro.platform` — CPU/bus/memory models, profiling, partitions,

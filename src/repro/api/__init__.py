@@ -1,0 +1,65 @@
+"""repro.api — the composable campaign API over the Symbad flow.
+
+The methodology's activities are :class:`~repro.api.stages.Stage` units
+in a registry; a :class:`~repro.api.session.Session` owns the shared
+workload artifacts and runs any subset of stages with dependency
+resolution and caching; a :class:`~repro.api.spec.CampaignSpec` is the
+declarative, serializable description of one run, and
+:class:`~repro.api.campaign.Campaign` executes specs (or grids of them,
+via :meth:`~repro.api.campaign.Campaign.sweep`) into JSON-ready
+outcomes.
+
+Quick tour::
+
+    from repro.api import CampaignSpec, Campaign, Session
+
+    spec = CampaignSpec(identities=4, poses=2, size=32, frames=2)
+    session = Session(spec)
+    session.run("level2")          # pulls reference/level1/profile/partition
+    session.run("level3")          # reuses all of them from the cache
+    report = session.report()      # the classic four-level FlowReport
+
+    outcome = Campaign(spec).run()              # gates + serializable result
+    sweep = Campaign.sweep(spec, {"cpu": ["ARM7TDMI", "ARM9TDMI"]})
+    print(sweep.describe())
+"""
+
+from repro.api.campaign import (
+    Campaign,
+    CampaignOutcome,
+    LEVEL_GATES,
+    SweepResult,
+)
+from repro.api.session import Session
+from repro.api.spec import ALL_LEVELS, CampaignSpec, SPEC_SCHEMA
+from repro.api.stages import (
+    FlowStage,
+    LEVEL_STAGES,
+    REFERENCE_CHANNELS,
+    Stage,
+    StageResult,
+    WORKLOAD_FIELDS,
+    get_stage,
+    register,
+    stage_names,
+)
+
+__all__ = [
+    "ALL_LEVELS",
+    "Campaign",
+    "CampaignOutcome",
+    "CampaignSpec",
+    "FlowStage",
+    "LEVEL_GATES",
+    "LEVEL_STAGES",
+    "REFERENCE_CHANNELS",
+    "SPEC_SCHEMA",
+    "Session",
+    "Stage",
+    "StageResult",
+    "SweepResult",
+    "WORKLOAD_FIELDS",
+    "get_stage",
+    "register",
+    "stage_names",
+]

@@ -1,0 +1,201 @@
+"""Campaigns: declarative runs and spec-grid sweeps.
+
+A :class:`Campaign` executes one :class:`~repro.api.spec.CampaignSpec`
+in a fresh :class:`~repro.api.session.Session`, evaluates the paper's
+per-level pass gates, and returns a serializable
+:class:`CampaignOutcome`.  :meth:`Campaign.sweep` expands a field grid
+into specs and fans them out over sessions — the batch entry point for
+architecture exploration at scale.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time as _time
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional, Sequence
+
+from repro.api.session import Session
+from repro.api.spec import ALL_LEVELS, CampaignSpec
+from repro.api.stages import LEVEL_STAGES, StageResult
+
+
+def _gate_level1(result) -> bool:
+    return result.matches_reference
+
+
+def _gate_level2(result) -> bool:
+    return result.consistent_with_level1 and (
+        result.deadline is None or result.deadline.holds)
+
+
+def _gate_level3(result) -> bool:
+    return result.consistent_with_level2 and result.symbc.consistent
+
+
+def _gate_level4(result) -> bool:
+    return result.verified
+
+
+#: The per-level pass criteria (the paper's cross-level checks).
+LEVEL_GATES = {1: _gate_level1, 2: _gate_level2, 3: _gate_level3,
+               4: _gate_level4}
+
+
+@dataclass
+class CampaignOutcome:
+    """Everything one campaign run produces, JSON-serializable."""
+
+    spec: CampaignSpec
+    results: dict[str, StageResult]
+    gates: dict[int, bool]
+    wall_seconds: float
+    report: Optional[Any] = None  # FlowReport when all four levels ran
+
+    @property
+    def passed(self) -> bool:
+        return all(self.gates.values())
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": "repro.campaign_outcome/v1",
+            "spec": self.spec.to_dict(),
+            "passed": self.passed,
+            "gates": {str(level): ok for level, ok in sorted(self.gates.items())},
+            "wall_seconds": self.wall_seconds,
+            "stages": {
+                name: result.to_dict()
+                for name, result in sorted(self.results.items())
+            },
+            "report": self.report.to_dict() if self.report is not None else None,
+        }
+
+    def describe(self) -> str:
+        verdict = "PASSED" if self.passed else "FAILED"
+        gates = ", ".join(
+            f"L{level}:{'ok' if ok else 'FAIL'}"
+            for level, ok in sorted(self.gates.items())
+        )
+        lines = [
+            f"campaign {self.spec.name!r}: {verdict} "
+            f"({gates}; {self.wall_seconds:.1f}s wall)",
+        ]
+        for name, result in sorted(self.results.items()):
+            describe = getattr(result.value, "describe", None)
+            if describe is not None:
+                lines.append(describe())
+        return "\n".join(lines)
+
+
+class Campaign:
+    """Driver for one spec (and, via :meth:`sweep`, for spec grids)."""
+
+    def __init__(self, spec: CampaignSpec):
+        self.spec = spec
+
+    def run(self, session: Optional[Session] = None) -> CampaignOutcome:
+        """Run the spec's levels; dependencies resolve through the cache."""
+        session = session if session is not None else Session(self.spec)
+        start = _time.perf_counter()
+        results: dict[str, StageResult] = {}
+        gates: dict[int, bool] = {}
+        for level, stage_result in session.run_levels(self.spec.levels).items():
+            results[LEVEL_STAGES[level]] = stage_result
+            gates[level] = LEVEL_GATES[level](stage_result.value)
+        report = None
+        if set(self.spec.levels) == set(ALL_LEVELS):
+            report = session.report()
+        return CampaignOutcome(
+            spec=self.spec,
+            results=results,
+            gates=gates,
+            wall_seconds=_time.perf_counter() - start,
+            report=report,
+        )
+
+    @classmethod
+    def sweep(
+        cls,
+        base: CampaignSpec,
+        grid: Mapping[str, Sequence[Any]],
+    ) -> "SweepResult":
+        """Fan a spec grid out over sessions.
+
+        ``grid`` maps spec field names to candidate values; the cartesian
+        product is run in grid order, each point in its own session.
+        Consecutive sessions are derived with
+        :meth:`~repro.api.session.Session.with_spec`, so stage results
+        not sensitive to the grid fields (and the workload artifacts,
+        when the grid does not touch the workload) are computed once and
+        carried across points instead of recomputed.
+        """
+        keys = list(grid)
+        outcomes: list[CampaignOutcome] = []
+        session: Optional[Session] = None
+        for combo in itertools.product(*(grid[k] for k in keys)):
+            changes = dict(zip(keys, combo))
+            label = ",".join(f"{k}={v}" for k, v in changes.items())
+            name = f"{base.name}[{label}]" if label else base.name
+            # Every grid key is set explicitly at every point, so deriving
+            # from the previous point leaves no stale grid field behind.
+            if session is None:
+                session = Session(base.replace(name=name, **changes))
+            else:
+                session = session.with_spec(name=name, **changes)
+            outcomes.append(cls(session.spec).run(session=session))
+        return SweepResult(base=base, grid={k: list(v) for k, v in grid.items()},
+                           outcomes=outcomes)
+
+
+@dataclass
+class SweepResult:
+    """Outcomes of one spec-grid sweep, in grid order."""
+
+    base: CampaignSpec
+    grid: dict[str, list]
+    outcomes: list[CampaignOutcome] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(outcome.passed for outcome in self.outcomes)
+
+    def ranked(self) -> list[CampaignOutcome]:
+        """Outcomes ranked by level-2 frame latency (fastest first).
+
+        Outcomes without a level-2 result keep their grid order at the
+        end — the natural grading for architecture-exploration sweeps.
+        """
+        def key(outcome: CampaignOutcome):
+            result = outcome.results.get("level2")
+            if result is None:
+                return (1, 0.0)
+            return (0, result.value.metrics.frame_latency_ps)
+        return sorted(self.outcomes, key=key)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": "repro.campaign_sweep/v1",
+            "base": self.base.to_dict(),
+            "grid": self.grid,
+            "passed": self.passed,
+            "runs": [outcome.to_dict() for outcome in self.outcomes],
+        }
+
+    def describe(self) -> str:
+        lines = [
+            f"campaign sweep over {list(self.grid)} "
+            f"({len(self.outcomes)} runs, "
+            f"{'all PASSED' if self.passed else 'FAILURES present'}):",
+        ]
+        for outcome in self.outcomes:
+            verdict = "PASSED" if outcome.passed else "FAILED"
+            extra = ""
+            level2 = outcome.results.get("level2")
+            if level2 is not None:
+                latency = level2.value.metrics.frame_latency_ps / 1e9
+                extra = f" latency={latency:.3f} ms/frame"
+            lines.append(
+                f"  {outcome.spec.name:<40} {verdict}{extra} "
+                f"({outcome.wall_seconds:.1f}s)"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,246 @@
+"""Sessions: shared artifacts + a dependency-resolving stage cache.
+
+A :class:`Session` owns the expensive workload artifacts of one
+campaign (enrolled database, application graph, reference model, camera
+frames) and drives registered stages over them.  Results are cached, so
+running level 3 after level 2 reuses the level-1 simulation, the profile
+and the partitions instead of recomputing them — the paper's "levels can
+be entered and re-run independently" made concrete.
+
+``with_spec`` derives a new session for a modified spec, carrying over
+both the workload artifacts (when the workload fields are untouched) and
+every cached stage result whose declared spec sensitivity does not
+intersect the change — the unit of reuse architecture sweeps are built
+on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields
+from dataclasses import replace as _dataclass_replace
+from typing import Any, Iterable, Optional
+
+from repro.api.spec import CampaignSpec
+from repro.api.stages import (
+    LEVEL_STAGES,
+    StageResult,
+    WORKLOAD_FIELDS,
+    get_stage,
+)
+from repro.facerec.camera import CameraConfig, FaceSampler
+from repro.facerec.database import enroll_database
+from repro.facerec.pipeline import FacerecConfig, build_graph
+from repro.facerec.reference import ReferenceModel
+from repro.platform.cpu import CPU_LIBRARY, CpuModel
+
+
+class Session:
+    """One campaign's artifacts, stage cache and dependency resolver."""
+
+    def __init__(
+        self,
+        spec: Optional[CampaignSpec] = None,
+        cpu_model: Optional[CpuModel] = None,
+        **overrides: Any,
+    ):
+        spec = spec if spec is not None else CampaignSpec()
+        if overrides:
+            spec = spec.replace(**overrides)
+        self.spec = spec
+        self.config = spec.workload()
+        self._cpu_model = cpu_model
+        if cpu_model is not None:
+            self.cpu = cpu_model
+        else:
+            try:
+                self.cpu = CPU_LIBRARY[spec.cpu]
+            except KeyError:
+                raise KeyError(
+                    f"unknown CPU model {spec.cpu!r}; "
+                    f"library: {sorted(CPU_LIBRARY)}"
+                ) from None
+        self._artifacts: dict[str, Any] = {}
+        self._results: dict[str, StageResult] = {}
+        self._resolving: list[str] = []
+        #: stage currently being force-recomputed; stages keeping their
+        #: own process-wide memo must bypass it when this matches their
+        #: name (see Level4Stage)
+        self.forcing: Optional[str] = None
+        #: times each stage was actually computed (cache hits excluded)
+        self.compute_counts: dict[str, int] = {}
+
+    # -- shared workload artifacts (built lazily, owned by the session) -----------
+
+    def _artifact(self, name: str, build) -> Any:
+        if name not in self._artifacts:
+            self._artifacts[name] = build()
+        return self._artifacts[name]
+
+    @property
+    def database(self):
+        return self._artifact("database", lambda: enroll_database(
+            self.config.identities, self.config.poses, self.config.size))
+
+    @property
+    def graph(self):
+        return self._artifact("graph", lambda: build_graph(
+            self.config, self.database))
+
+    @property
+    def reference(self) -> ReferenceModel:
+        return self._artifact("reference",
+                              lambda: ReferenceModel(self.database))
+
+    @property
+    def shots(self) -> list[tuple[int, int]]:
+        spec = self.spec
+        return self._artifact("shots", lambda: [
+            (i % spec.identities, (i * 7) % spec.poses)
+            for i in range(spec.frames)
+        ])
+
+    @property
+    def frames(self) -> list:
+        def build():
+            sampler = FaceSampler(CameraConfig(
+                size=self.spec.size, noise_sigma=self.spec.noise_sigma,
+                seed=self.spec.seed))
+            return sampler.frames(self.shots)
+        return self._artifact("frames", build)
+
+    def stimuli(self) -> dict[str, list]:
+        """A fresh stimuli dict for one simulation run."""
+        return {"CAMERA": list(self.frames)}
+
+    # -- stage execution ----------------------------------------------------------
+
+    def run(self, name: str, force: bool = False) -> StageResult:
+        """Run one stage (resolving ``requires`` first); cache the result.
+
+        A cache hit is returned with ``from_cache=True`` and is never
+        recomputed unless ``force`` is given.
+        """
+        stage = get_stage(name)
+        if name in self._resolving:
+            cycle = " -> ".join(self._resolving + [name])
+            raise RuntimeError(f"stage dependency cycle: {cycle}")
+        if not force and name in self._results:
+            return _dataclass_replace(self._results[name], from_cache=True)
+        self._resolving.append(name)
+        if force:
+            self.forcing = name
+        try:
+            for dep in stage.requires:
+                self.run(dep)
+            result = stage.run(self)
+        finally:
+            self._resolving.pop()
+            if force:
+                self.forcing = None
+        if result.stage != name:
+            raise RuntimeError(
+                f"stage {name!r} returned a result labelled {result.stage!r}")
+        self._results[name] = result
+        self.compute_counts[name] = self.compute_counts.get(name, 0) + 1
+        return result
+
+    def value(self, name: str) -> Any:
+        """The stage's artifact (running it first if needed)."""
+        return self.run(name).value
+
+    def has(self, name: str) -> bool:
+        """Whether a cached result for ``name`` exists."""
+        return name in self._results
+
+    def put(self, name: str, value: Any) -> StageResult:
+        """Seed the cache with an externally-computed artifact."""
+        get_stage(name)  # validates the name
+        result = StageResult(stage=name, value=value, wall_seconds=0.0)
+        self._results[name] = result
+        return result
+
+    def invalidate(self, name: str) -> None:
+        """Drop a cached result and everything depending on it."""
+        if name not in self._results:
+            return
+        del self._results[name]
+        for other in list(self._results):
+            if name in get_stage(other).requires:
+                self.invalidate(other)
+
+    def run_levels(self, levels: Iterable[int]) -> dict[int, StageResult]:
+        """Run a subset of refinement levels, in level order."""
+        out: dict[int, StageResult] = {}
+        for level in sorted(set(levels)):
+            out[level] = self.run(LEVEL_STAGES[level])
+        return out
+
+    # -- aggregate results --------------------------------------------------------
+
+    def recognition_accuracy(self) -> float:
+        """Fraction of probe frames the level-1 model identifies correctly."""
+        winners = self.value("level1").results.get("WINNER", [])
+        if not winners:
+            return 0.0
+        hits = sum(
+            1 for (identity, __), result in zip(self.shots, winners)
+            if result is not None and result[0] == identity
+        )
+        return hits / len(winners)
+
+    def report(self):
+        """Run all four levels and assemble the :class:`FlowReport`."""
+        from repro.flow.methodology import FlowReport
+
+        level1 = self.value("level1")
+        level2 = self.value("level2")
+        level3 = self.value("level3")
+        level4 = self.value("level4")
+        speed2 = level2.sim_speed_hz(self.cpu)
+        speed3 = level3.sim_speed_hz(self.cpu)
+        return FlowReport(
+            config=self.config,
+            shots=self.shots,
+            level1=level1,
+            level2=level2,
+            level3=level3,
+            level4=level4,
+            recognition_accuracy=self.recognition_accuracy(),
+            sim_speed_ratio=speed2 / speed3 if speed3 else float("inf"),
+        )
+
+    # -- derivation ---------------------------------------------------------------
+
+    def with_spec(self, **changes: Any) -> "Session":
+        """A session for a modified spec, reusing everything unaffected.
+
+        Workload artifacts carry over when no workload field changed;
+        a cached stage result carries over when neither it nor any stage
+        it depends on is ``sensitive_to`` a changed field.
+        """
+        spec = self.spec.replace(**changes)
+        cpu_model = None if "cpu" in changes else self._cpu_model
+        derived = Session(spec, cpu_model=cpu_model)
+        changed = {
+            f.name for f in fields(CampaignSpec)
+            if getattr(spec, f.name) != getattr(self.spec, f.name)
+        }
+        if not changed & set(WORKLOAD_FIELDS):
+            derived._artifacts = dict(self._artifacts)
+
+        carryable: dict[str, bool] = {}
+
+        def carries(name: str) -> bool:
+            if name not in carryable:
+                if name not in self._results:
+                    carryable[name] = False
+                else:
+                    stage = get_stage(name)
+                    carryable[name] = not (set(stage.sensitive_to) & changed) \
+                        and all(carries(dep) for dep in stage.requires)
+            return carryable[name]
+
+        for name, result in self._results.items():
+            if carries(name):
+                derived._results[name] = result
+        return derived

@@ -1,0 +1,110 @@
+"""Declarative campaign specifications.
+
+A :class:`CampaignSpec` captures everything one flow run depends on —
+workload, CPU, FPGA capacity, real-time deadline and the subset of
+refinement levels to execute — as a frozen, serializable value.  Specs
+round-trip losslessly through ``to_dict``/``from_dict`` so campaigns can
+be stored in files, shipped between machines and fanned out over grids
+(:meth:`repro.api.campaign.Campaign.sweep`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from dataclasses import replace as _dataclass_replace
+from typing import Any, Mapping, Optional
+
+from repro.facerec.pipeline import FacerecConfig
+
+SPEC_SCHEMA = "repro.campaign_spec/v1"
+
+#: The four refinement levels of the methodology.
+ALL_LEVELS = (1, 2, 3, 4)
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """One fully-specified flow campaign.
+
+    ``cpu`` names a model in
+    :data:`repro.platform.cpu.CPU_LIBRARY`; ``levels`` is the subset of
+    refinement levels to run (dependencies between levels are resolved
+    by the :class:`~repro.api.session.Session`, not the spec);
+    ``deadline_ms`` of ``None`` skips the LPV deadline check.
+    """
+
+    name: str = "case-study"
+    identities: int = 10
+    poses: int = 2
+    size: int = 48
+    frames: int = 3
+    noise_sigma: float = 2.0
+    seed: int = 2004
+    cpu: str = "ARM7TDMI"
+    capacity_gates: int = 16_000
+    deadline_ms: Optional[float] = 500.0
+    levels: tuple[int, ...] = ALL_LEVELS
+    run_pcc: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "levels", tuple(self.levels))
+        bad = [lv for lv in self.levels if lv not in ALL_LEVELS]
+        if bad or not self.levels:
+            raise ValueError(
+                f"levels must be a non-empty subset of {ALL_LEVELS}, "
+                f"got {self.levels!r}"
+            )
+        if self.frames < 1:
+            raise ValueError("frames must be >= 1")
+        if self.capacity_gates < 1:
+            raise ValueError("capacity_gates must be >= 1")
+        if not self.cpu:
+            raise ValueError("cpu must name a CPU model")
+        # Delegate workload validation to the config it will become.
+        self.workload()
+
+    def workload(self) -> FacerecConfig:
+        """The workload part of the spec as a validated config."""
+        return FacerecConfig(identities=self.identities, poses=self.poses,
+                             size=self.size)
+
+    @property
+    def deadline_ps(self) -> Optional[int]:
+        return int(self.deadline_ms * 1e9) if self.deadline_ms is not None else None
+
+    def replace(self, **changes: Any) -> "CampaignSpec":
+        """A copy with the given fields replaced (validation re-runs)."""
+        return _dataclass_replace(self, **changes)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": SPEC_SCHEMA,
+            "name": self.name,
+            "identities": self.identities,
+            "poses": self.poses,
+            "size": self.size,
+            "frames": self.frames,
+            "noise_sigma": self.noise_sigma,
+            "seed": self.seed,
+            "cpu": self.cpu,
+            "capacity_gates": self.capacity_gates,
+            "deadline_ms": self.deadline_ms,
+            "levels": list(self.levels),
+            "run_pcc": self.run_pcc,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CampaignSpec":
+        """Inverse of :meth:`to_dict`; rejects unknown keys and schemas."""
+        payload = dict(data)
+        schema = payload.pop("schema", SPEC_SCHEMA)
+        if schema != SPEC_SCHEMA:
+            raise ValueError(f"unsupported spec schema {schema!r} "
+                             f"(expected {SPEC_SCHEMA!r})")
+        known = {f.name for f in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown spec fields: {sorted(unknown)}")
+        if "levels" in payload:
+            payload["levels"] = tuple(payload["levels"])
+        return cls(**payload)

@@ -1,0 +1,271 @@
+"""The stage protocol and registry.
+
+Every activity of the methodology — the four refinement levels plus the
+supporting profiling and partitioning passes — is a :class:`Stage`: a
+named unit with declared dependencies (``requires``) that computes one
+artifact from a :class:`~repro.api.session.Session`.  Stages are
+registered in a process-wide registry so sessions can resolve any subset
+of the flow by name, and each stage declares which
+:class:`~repro.api.spec.CampaignSpec` fields it is ``sensitive_to`` so
+cached results survive spec changes that cannot affect them
+(see :meth:`~repro.api.session.Session.with_spec`).
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass
+from typing import Any, Protocol, TYPE_CHECKING, runtime_checkable
+
+from repro.facerec.pipeline import case_study_partition
+from repro.facerec.swmodels import (
+    distance_step_function,
+    distance_step_reference,
+    root_function,
+)
+from repro.facerec.stages import isqrt
+from repro.facerec.tracing import Trace
+from repro.flow.level1 import run_level1
+from repro.flow.level2 import run_level2
+from repro.flow.level3 import run_level3
+from repro.flow.level4 import run_level4
+from repro.flow.methodology import REFERENCE_CHANNELS
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.api.session import Session
+
+#: Spec fields that shape the application graph and its stimuli; every
+#: stage that touches them is sensitive to these.
+WORKLOAD_FIELDS = ("identities", "poses", "size", "frames", "noise_sigma",
+                   "seed")
+
+#: Refinement level -> stage name.
+LEVEL_STAGES = {1: "level1", 2: "level2", 3: "level3", 4: "level4"}
+
+
+@dataclass(frozen=True)
+class StageResult:
+    """One stage's outcome: the artifact plus execution metadata."""
+
+    stage: str
+    value: Any
+    wall_seconds: float
+    from_cache: bool = False
+
+    def to_dict(self) -> dict:
+        from repro.serialize import json_safe
+
+        return {
+            "schema": "repro.stage_result/v1",
+            "stage": self.stage,
+            "wall_seconds": self.wall_seconds,
+            "from_cache": self.from_cache,
+            "value": json_safe(self.value),
+        }
+
+
+@runtime_checkable
+class Stage(Protocol):
+    """The uniform stage interface sessions drive."""
+
+    name: str
+    requires: tuple[str, ...]
+    sensitive_to: tuple[str, ...]
+
+    def run(self, ctx: "Session") -> StageResult: ...
+
+
+class FlowStage:
+    """Convenience base: implement :meth:`compute`, get timing for free."""
+
+    name: str = ""
+    requires: tuple[str, ...] = ()
+    sensitive_to: tuple[str, ...] = WORKLOAD_FIELDS
+
+    def run(self, ctx: "Session") -> StageResult:
+        start = _time.perf_counter()
+        value = self.compute(ctx)
+        return StageResult(stage=self.name, value=value,
+                           wall_seconds=_time.perf_counter() - start)
+
+    def compute(self, ctx: "Session") -> Any:
+        raise NotImplementedError
+
+
+_REGISTRY: dict[str, Stage] = {}
+
+
+def register(stage: Any) -> Any:
+    """Register a stage instance (or class, instantiated with no args).
+
+    Usable as a class decorator.  Raises on duplicate or anonymous names.
+    """
+    instance = stage() if isinstance(stage, type) else stage
+    if not getattr(instance, "name", ""):
+        raise ValueError(f"stage {instance!r} has no name")
+    if instance.name in _REGISTRY:
+        raise ValueError(f"stage {instance.name!r} already registered")
+    _REGISTRY[instance.name] = instance
+    return stage
+
+
+def get_stage(name: str) -> Stage:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown stage {name!r}; registered: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def stage_names() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+# -- the built-in flow stages -----------------------------------------------------
+
+
+@register
+class ReferenceStage(FlowStage):
+    """Golden trace of the C reference model over the probe frames."""
+
+    name = "reference"
+
+    def compute(self, ctx: "Session") -> Trace:
+        events: list = []
+        for frame in ctx.frames:
+            ctx.reference.recognize(frame, trace=events)
+        return Trace.from_reference_events("reference", events)
+
+
+@register
+class ProfileStage(FlowStage):
+    """Execution profile of the untimed application (partitioning input)."""
+
+    name = "profile"
+
+    def compute(self, ctx: "Session"):
+        from repro.platform.profiler import profile_graph
+
+        return profile_graph(ctx.graph, ctx.stimuli())
+
+
+@register
+class PartitionStage(FlowStage):
+    """The case study's designer partitions for the timed levels."""
+
+    name = "partition"
+
+    def compute(self, ctx: "Session") -> dict:
+        return {
+            "timed": case_study_partition(ctx.graph),
+            "reconfigurable": case_study_partition(ctx.graph, with_fpga=True),
+        }
+
+
+@register
+class Level1Stage(FlowStage):
+    """System-level specification: untimed simulation + trace check."""
+
+    name = "level1"
+    requires = ("reference",)
+
+    def compute(self, ctx: "Session"):
+        return run_level1(
+            ctx.graph, ctx.stimuli(),
+            reference_trace=ctx.value("reference"),
+            compare_channels=REFERENCE_CHANNELS,
+        )
+
+
+@register
+class Level2Stage(FlowStage):
+    """Architecture mapping: timed TL simulation + LPV real-time checks."""
+
+    name = "level2"
+    requires = ("level1", "profile", "partition")
+    sensitive_to = WORKLOAD_FIELDS + ("cpu", "deadline_ms")
+
+    def compute(self, ctx: "Session"):
+        return run_level2(
+            ctx.graph,
+            ctx.value("partition")["timed"],
+            ctx.stimuli(),
+            cpu=ctx.cpu,
+            profile=ctx.value("profile"),
+            level1_trace=ctx.value("level1").trace,
+            deadline_ps=ctx.spec.deadline_ps,
+        )
+
+
+@register
+class Level3Stage(FlowStage):
+    """Reconfiguration refinement: FPGA contexts + SymbC consistency."""
+
+    name = "level3"
+    requires = ("level1", "profile", "partition")
+    sensitive_to = WORKLOAD_FIELDS + ("cpu", "capacity_gates")
+
+    def compute(self, ctx: "Session"):
+        return run_level3(
+            ctx.graph,
+            ctx.value("partition")["reconfigurable"],
+            ctx.stimuli(),
+            capacity_gates=ctx.spec.capacity_gates,
+            cpu=ctx.cpu,
+            profile=ctx.value("profile"),
+            reference_trace=ctx.value("level1").trace,
+        )
+
+
+@register
+class Level4Stage(FlowStage):
+    """RTL generation and formal verification of the FPGA modules.
+
+    Independent of the workload: the synthesised accelerators (ROOT,
+    DISTANCE_STEP) and their property plans are fixed by the case study,
+    so the (expensive) synthesis/BMC/PCC result is memoized process-wide
+    per ``run_pcc`` value and shared across sessions.  A session-level
+    ``invalidate`` does not clear the memo; ``run("level4", force=True)``
+    does, re-running the verification.
+    """
+
+    name = "level4"
+    sensitive_to = ("run_pcc",)
+
+    #: Datapath width of the synthesised accelerators.
+    WIDTH = 16
+
+    _memo: dict[bool, Any] = {}
+
+    def compute(self, ctx: "Session"):
+        run_pcc = ctx.spec.run_pcc
+        if run_pcc not in self._memo or ctx.forcing == self.name:
+            self._memo[run_pcc] = self._verify(run_pcc)
+        return self._memo[run_pcc]
+
+    def _verify(self, run_pcc: bool):
+        width = self.WIDTH
+        max_value = (1 << (width - 1)) - 1
+        return run_level4(
+            functions={
+                "ROOT": root_function(width),
+                "DISTANCE_STEP": distance_step_function(),
+            },
+            reference_impls={
+                "ROOT": lambda n: isqrt(n),
+                "DISTANCE_STEP": lambda acc, a, b: distance_step_reference(
+                    acc, a, b, width
+                ),
+            },
+            test_inputs={
+                "ROOT": [{"n": v} for v in (0, 1, 2, 99, 1024, max_value)],
+                "DISTANCE_STEP": [
+                    {"acc": 0, "a": 200, "b": 55},
+                    {"acc": 123, "a": 7, "b": 250},
+                    {"acc": 500, "a": 0, "b": 0},
+                ],
+            },
+            width=width,
+            run_pcc=run_pcc,
+        )

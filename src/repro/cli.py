@@ -1,84 +1,123 @@
 """Command-line driver: ``python -m repro <command>``.
 
-Exposes the flow as a tool a design team would actually run:
+Exposes the flow as a tool a design team would actually run, built on
+the composable :mod:`repro.api` (sessions, stages, campaign specs):
 
 - ``topology``  — print the Figure-2 system model;
 - ``flow``      — run the complete four-level methodology and report;
+- ``campaign``  — run a :class:`~repro.api.spec.CampaignSpec` file
+  (single run or grid sweep);
 - ``explore``   — the level-2 architecture exploration sweep;
-- ``verify``    — the level-1 LPV deadlock proof and ATPG smoke campaign;
+- ``verify``    — the level-1 LPV deadlock proof;
 - ``wave``      — synthesise the ROOT module, run it, dump a VCD trace.
+
+Commands that produce results accept ``--json`` to emit the
+schema-stable machine-readable document instead of prose.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional
 
-from repro.facerec import FacerecConfig
-from repro.flow import SymbadFlow
+from repro.api import Campaign, CampaignSpec, Session
 
 
-def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+def _add_workload_args(parser: argparse.ArgumentParser,
+                       frames: bool = True) -> None:
+    """Workload options; ``frames`` only where the command simulates."""
     parser.add_argument("--identities", type=int, default=10,
                         help="database identities (paper: 20)")
     parser.add_argument("--poses", type=int, default=2,
                         help="poses per identity (paper: multiple)")
     parser.add_argument("--size", type=int, default=48,
                         help="frame side in pixels (even, >= 16)")
-    parser.add_argument("--frames", type=int, default=3,
-                        help="probe frames to process")
+    if frames:
+        parser.add_argument("--frames", type=int, default=3,
+                            help="probe frames to process")
 
 
-def _config(args) -> FacerecConfig:
-    return FacerecConfig(identities=args.identities, poses=args.poses,
-                         size=args.size)
+def _add_json_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--json", action="store_true",
+                        help="emit the machine-readable JSON document")
+
+
+def _spec(args, **extra) -> CampaignSpec:
+    fields = {
+        "identities": args.identities,
+        "poses": args.poses,
+        "size": args.size,
+    }
+    if hasattr(args, "frames"):
+        fields["frames"] = args.frames
+    fields.update(extra)
+    return CampaignSpec(**fields)
+
+
+def _emit(args, document: dict, text: str) -> None:
+    if getattr(args, "json", False):
+        print(json.dumps(document, indent=2))
+    else:
+        print(text)
 
 
 def cmd_topology(args) -> int:
-    flow = SymbadFlow(config=_config(args), frames=args.frames)
-    print(flow.topology())
+    from repro.flow.reportgen import topology_figure
+
+    session = Session(_spec(args))
+    print(topology_figure(session.graph))
     return 0
 
 
 def cmd_flow(args) -> int:
-    flow = SymbadFlow(config=_config(args), frames=args.frames)
-    report = flow.run(run_pcc=args.pcc)
-    print(report.describe())
-    ok = (report.level1.matches_reference
-          and report.level2.consistent_with_level1
-          and report.level3.consistent_with_level2
-          and report.level3.symbc.consistent
-          and report.level4.verified)
-    return 0 if ok else 1
+    spec = _spec(args, run_pcc=args.pcc, deadline_ms=args.deadline_ms)
+    report = Session(spec).report()
+    _emit(args, report.to_dict(), report.describe())
+    return 0 if report.passed else 1
+
+
+def cmd_campaign(args) -> int:
+    with open(args.spec_file) as stream:
+        payload = json.load(stream)
+    sweep_grid = None
+    if isinstance(payload, dict) and "sweep" in payload:
+        sweep_grid = payload["sweep"]
+        payload = payload.get("spec", {})
+    spec = CampaignSpec.from_dict(payload)
+    if sweep_grid:
+        result = Campaign.sweep(spec, sweep_grid)
+    else:
+        result = Campaign(spec).run()
+    _emit(args, result.to_dict(), result.describe())
+    return 0 if result.passed else 1
 
 
 def cmd_explore(args) -> int:
-    from repro.facerec import CameraConfig, FaceSampler, build_graph
-    from repro.platform import Explorer, profile_graph
+    from repro.platform import Explorer
 
-    config = _config(args)
-    graph = build_graph(config)
-    sampler = FaceSampler(CameraConfig(size=config.size))
-    frames = sampler.frames([(i % config.identities, i % config.poses)
-                             for i in range(args.frames)])
-    profile = profile_graph(graph, {"CAMERA": frames})
-    print(profile.describe())
-    result = Explorer(graph, profile).explore({"CAMERA": frames},
-                                              max_hw=args.max_hw)
-    print()
-    print(result.describe())
+    session = Session(_spec(args))
+    profile = session.value("profile")
+    result = Explorer(session.graph, profile).explore(
+        session.stimuli(), max_hw=args.max_hw)
+    document = {
+        "schema": "repro.explore/v1",
+        "profile": profile.to_dict(),
+        "exploration": result.to_dict(),
+    }
+    text = "\n\n".join([profile.describe(), result.describe()])
+    _emit(args, document, text)
     return 0
 
 
 def cmd_verify(args) -> int:
-    from repro.facerec import build_graph
     from repro.verify.lpv import check_deadlock_freedom, graph_to_petri
 
-    config = _config(args)
-    graph = build_graph(config)
-    report = check_deadlock_freedom(graph_to_petri(graph), confirm=False)
-    print(report.describe())
+    session = Session(_spec(args))
+    report = check_deadlock_freedom(graph_to_petri(session.graph),
+                                    confirm=False)
+    _emit(args, report.to_dict(), report.describe())
     return 0 if report.deadlock_free else 1
 
 
@@ -104,24 +143,38 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_topology = sub.add_parser("topology", help="print the system model")
-    _add_workload_args(p_topology)
+    _add_workload_args(p_topology, frames=False)
     p_topology.set_defaults(func=cmd_topology)
 
     p_flow = sub.add_parser("flow", help="run the full four-level flow")
     _add_workload_args(p_flow)
     p_flow.add_argument("--pcc", action="store_true",
                         help="include the PCC property-coverage pass (slow)")
+    p_flow.add_argument("--deadline-ms", type=float, default=500.0,
+                        help="LPV frame deadline in milliseconds")
+    _add_json_arg(p_flow)
     p_flow.set_defaults(func=cmd_flow)
+
+    p_campaign = sub.add_parser(
+        "campaign", help="run a campaign spec file (single run or sweep)")
+    p_campaign.add_argument(
+        "spec_file",
+        help="JSON file: either a campaign spec document, or "
+             '{"spec": {...}, "sweep": {field: [values, ...]}}')
+    _add_json_arg(p_campaign)
+    p_campaign.set_defaults(func=cmd_campaign)
 
     p_explore = sub.add_parser("explore", help="level-2 architecture sweep")
     _add_workload_args(p_explore)
     p_explore.add_argument("--max-hw", type=int, default=6,
                            help="largest heaviest-k-to-HW candidate")
+    _add_json_arg(p_explore)
     p_explore.set_defaults(func=cmd_explore)
 
     p_verify = sub.add_parser("verify",
                               help="LPV deadlock proof of the system model")
-    _add_workload_args(p_verify)
+    _add_workload_args(p_verify, frames=False)
+    _add_json_arg(p_verify)
     p_verify.set_defaults(func=cmd_verify)
 
     p_wave = sub.add_parser("wave", help="dump a VCD trace of the ROOT FSMD")

@@ -133,6 +133,25 @@ class Level1Result:
     def matches_reference(self) -> bool:
         return self.reference_checked and not self.reference_mismatches
 
+    def to_dict(self) -> dict:
+        """Schema-stable summary of the untimed run."""
+        from repro.serialize import json_safe
+
+        return {
+            "schema": "repro.level1/v1",
+            "level": 1,
+            "graph": self.graph_name,
+            "wall_seconds": self.wall_seconds,
+            "activations": self.activations,
+            "deltas": self.deltas,
+            "results": json_safe(self.results),
+            "trace_channels": sorted(self.trace.channels),
+            "reference_checked": self.reference_checked,
+            "matches_reference": self.matches_reference,
+            "reference_mismatches": len(self.reference_mismatches),
+            "fifo_stats": json_safe(self.fifo_stats),
+        }
+
     def describe(self) -> str:
         lines = [
             f"level 1 ({self.graph_name}): untimed simulation in "

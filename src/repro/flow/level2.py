@@ -40,6 +40,23 @@ class Level2Result:
     def sim_speed_hz(self, cpu: CpuModel = ARM7TDMI) -> float:
         return self.metrics.sim_speed_hz(cpu.cycle_ps)
 
+    def to_dict(self) -> dict:
+        """Schema-stable summary of the level-2 activities."""
+        return {
+            "schema": "repro.level2/v1",
+            "level": 2,
+            "partition": self.partition.to_dict(),
+            "profile": self.profile.to_dict(),
+            "metrics": self.metrics.to_dict(),
+            "deadline": self.deadline.to_dict() if self.deadline else None,
+            "fifo_sizing": (
+                self.fifo_sizing.to_dict() if self.fifo_sizing else None
+            ),
+            "consistency_checked": self.consistency_checked,
+            "consistent_with_level1": self.consistent_with_level1,
+            "consistency_mismatches": len(self.consistency_mismatches),
+        }
+
     def describe(self) -> str:
         m = self.metrics
         lines = [

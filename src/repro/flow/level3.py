@@ -92,6 +92,23 @@ class Level3Result:
     def sim_speed_hz(self, cpu: CpuModel = ARM7TDMI) -> float:
         return self.metrics.sim_speed_hz(cpu.cycle_ps)
 
+    def to_dict(self) -> dict:
+        """Schema-stable summary of the level-3 activities."""
+        return {
+            "schema": "repro.level3/v1",
+            "level": 3,
+            "partition": self.partition.to_dict(),
+            "contexts": [c.to_dict() for c in self.contexts],
+            "mapping_choice": (
+                self.mapping_choice.to_dict() if self.mapping_choice else None
+            ),
+            "metrics": self.metrics.to_dict(),
+            "symbc": self.symbc.to_dict(),
+            "consistency_checked": self.consistency_checked,
+            "consistent_with_level2": self.consistent_with_level2,
+            "consistency_mismatches": len(self.consistency_mismatches),
+        }
+
     def describe(self) -> str:
         m = self.metrics
         fpga = m.fpga_report or {}

@@ -37,6 +37,18 @@ class ModuleRtl:
     def all_properties_hold(self) -> bool:
         return all(r.holds_up_to_bound for r in self.property_results)
 
+    def to_dict(self) -> dict:
+        stats = self.netlist.stats()
+        return {
+            "name": self.name,
+            "registers": stats["registers"],
+            "state_bits": stats["state_bits"],
+            "properties": [r.to_dict() for r in self.property_results],
+            "all_properties_hold": self.all_properties_hold,
+            "wrapper_checked": self.wrapper_checked,
+            "pcc": self.pcc.to_dict() if self.pcc else None,
+        }
+
 
 @dataclass
 class Level4Result:
@@ -50,6 +62,17 @@ class Level4Result:
             m.all_properties_hold and m.wrapper_checked
             for m in self.modules.values()
         )
+
+    def to_dict(self) -> dict:
+        """Schema-stable summary of the level-4 activities."""
+        return {
+            "schema": "repro.level4/v1",
+            "level": 4,
+            "verified": self.verified,
+            "modules": {
+                name: module.to_dict() for name, module in self.modules.items()
+            },
+        }
 
     def describe(self) -> str:
         lines = ["level 4: RTL generation and verification"]

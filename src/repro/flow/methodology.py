@@ -1,34 +1,26 @@
 """The end-to-end Symbad flow on the face-recognition case study.
 
-:class:`SymbadFlow` wires the whole methodology together: it builds the
-application (database, graph, camera stimuli), then walks the four
-levels in order, carrying the cross-level consistency checks with it —
-exactly the campaign Section 4 of the paper narrates.
+:class:`FlowReport` is everything one complete four-level campaign
+produces, with the cross-level pass gates and a schema-stable
+``to_dict``.  :class:`SymbadFlow` is the historical driver interface,
+kept as a thin shim over :class:`repro.api.session.Session` — new code
+should use :mod:`repro.api` directly, which exposes the levels as
+composable, individually-runnable, cached stages.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
-from repro.facerec.camera import CameraConfig, FaceSampler
-from repro.facerec.database import enroll_database
-from repro.facerec.pipeline import FacerecConfig, build_graph, case_study_partition
-from repro.facerec.reference import ReferenceModel
-from repro.facerec.swmodels import (
-    distance_step_function,
-    distance_step_reference,
-    root_function,
-)
-from repro.facerec.stages import isqrt
+from repro.facerec.pipeline import FacerecConfig
 from repro.facerec.tracing import Trace
-from repro.flow.level1 import Level1Result, run_level1
-from repro.flow.level2 import Level2Result, run_level2
-from repro.flow.level3 import Level3Result, run_level3
-from repro.flow.level4 import Level4Result, run_level4
+from repro.flow.level1 import Level1Result
+from repro.flow.level2 import Level2Result
+from repro.flow.level3 import Level3Result
+from repro.flow.level4 import Level4Result
 from repro.flow.reportgen import flow_figure, topology_figure
 from repro.platform.cpu import CpuModel, ARM7TDMI
-from repro.platform.profiler import profile_graph
 
 #: Channels the reference model traces (internal trigger excluded).
 REFERENCE_CHANNELS = [
@@ -50,6 +42,42 @@ class FlowReport:
     recognition_accuracy: float
     sim_speed_ratio: float  # level2 speed / level3 speed (paper ~6.7x)
 
+    @property
+    def passed(self) -> bool:
+        """All cross-level consistency checks and verifications hold.
+
+        The criteria are :data:`repro.api.campaign.LEVEL_GATES` — the
+        single definition shared with campaign runs, so ``repro flow``
+        and ``repro campaign`` can never disagree on pass/fail.
+        """
+        from repro.api.campaign import LEVEL_GATES
+
+        levels = {1: self.level1, 2: self.level2, 3: self.level3,
+                  4: self.level4}
+        return all(gate(levels[lv]) for lv, gate in LEVEL_GATES.items())
+
+    def to_dict(self) -> dict:
+        """The schema-stable JSON document of one flow run."""
+        return {
+            "schema": "repro.flow_report/v1",
+            "workload": {
+                "identities": self.config.identities,
+                "poses": self.config.poses,
+                "size": self.config.size,
+                "frames": len(self.shots),
+            },
+            "shots": [list(shot) for shot in self.shots],
+            "levels": {
+                "level1": self.level1.to_dict(),
+                "level2": self.level2.to_dict(),
+                "level3": self.level3.to_dict(),
+                "level4": self.level4.to_dict(),
+            },
+            "recognition_accuracy": self.recognition_accuracy,
+            "sim_speed_ratio": self.sim_speed_ratio,
+            "passed": self.passed,
+        }
+
     def describe(self) -> str:
         sections = [
             flow_figure(),
@@ -70,112 +98,85 @@ class FlowReport:
 
 
 class SymbadFlow:
-    """Driver for the complete case study."""
+    """Driver for the complete case study (compatibility shim).
+
+    Delegates to a :class:`repro.api.session.Session`; the historical
+    attribute surface (``config``, ``graph``, ``frames``, ...) is
+    preserved.
+    """
 
     def __init__(
         self,
-        config: FacerecConfig = FacerecConfig(),
+        config: Optional[FacerecConfig] = None,
         frames: int = 5,
         noise_sigma: float = 2.0,
         cpu: CpuModel = ARM7TDMI,
         capacity_gates: int = 16_000,
         seed: int = 2004,
     ):
-        self.config = config
-        self.cpu = cpu
-        self.capacity_gates = capacity_gates
-        self.database = enroll_database(config.identities, config.poses, config.size)
-        self.graph = build_graph(config, self.database)
-        self.reference = ReferenceModel(self.database)
-        sampler = FaceSampler(CameraConfig(size=config.size,
-                                           noise_sigma=noise_sigma, seed=seed))
-        self.shots = [
-            (i % config.identities, (i * 7) % config.poses) for i in range(frames)
-        ]
-        self.frames = sampler.frames(self.shots)
+        from repro.api.session import Session
+        from repro.api.spec import CampaignSpec
 
-    # -- individual levels --------------------------------------------------------
+        config = config if config is not None else FacerecConfig()
+        spec = CampaignSpec(
+            identities=config.identities,
+            poses=config.poses,
+            size=config.size,
+            frames=frames,
+            noise_sigma=noise_sigma,
+            cpu=cpu.name,
+            capacity_gates=capacity_gates,
+            seed=seed,
+        )
+        self.session = Session(spec, cpu_model=cpu)
+
+    # -- the historical attribute surface, backed by the session ------------------
+
+    @property
+    def config(self) -> FacerecConfig:
+        return self.session.config
+
+    @property
+    def cpu(self) -> CpuModel:
+        return self.session.cpu
+
+    @property
+    def capacity_gates(self) -> int:
+        return self.session.spec.capacity_gates
+
+    @property
+    def database(self):
+        return self.session.database
+
+    @property
+    def graph(self):
+        return self.session.graph
+
+    @property
+    def reference(self):
+        return self.session.reference
+
+    @property
+    def shots(self) -> list[tuple[int, int]]:
+        return self.session.shots
+
+    @property
+    def frames(self) -> list:
+        return self.session.frames
+
+    # -- the historical methods ---------------------------------------------------
 
     def reference_trace(self) -> Trace:
-        events: list = []
-        for frame in self.frames:
-            self.reference.recognize(frame, trace=events)
-        return Trace.from_reference_events("reference", events)
+        return self.session.value("reference")
 
     def run(self, deadline_ms: Optional[float] = 500.0,
             run_pcc: bool = False) -> FlowReport:
         """Walk all four levels; returns the flow report."""
-        stimuli = {"CAMERA": list(self.frames)}
-        reference_trace = self.reference_trace()
-
-        level1 = run_level1(self.graph, stimuli,
-                            reference_trace=reference_trace,
-                            compare_channels=REFERENCE_CHANNELS)
-
-        profile = profile_graph(self.graph, stimuli)
-        partition2 = case_study_partition(self.graph)
-        deadline_ps = int(deadline_ms * 1e9) if deadline_ms is not None else None
-        level2 = run_level2(
-            self.graph, partition2, stimuli, cpu=self.cpu, profile=profile,
-            level1_trace=level1.trace, deadline_ps=deadline_ps,
-        )
-
-        partition3 = case_study_partition(self.graph, with_fpga=True)
-        level3 = run_level3(
-            self.graph, partition3, stimuli,
-            capacity_gates=self.capacity_gates, cpu=self.cpu, profile=profile,
-            reference_trace=level1.trace,
-        )
-
-        width = 16
-        max_value = (1 << (width - 1)) - 1
-        level4 = run_level4(
-            functions={
-                "ROOT": root_function(width),
-                "DISTANCE_STEP": distance_step_function(),
-            },
-            reference_impls={
-                "ROOT": lambda n: isqrt(n),
-                "DISTANCE_STEP": lambda acc, a, b: distance_step_reference(
-                    acc, a, b, width
-                ),
-            },
-            test_inputs={
-                "ROOT": [{"n": v} for v in (0, 1, 2, 99, 1024, max_value)],
-                "DISTANCE_STEP": [
-                    {"acc": 0, "a": 200, "b": 55},
-                    {"acc": 123, "a": 7, "b": 250},
-                    {"acc": 500, "a": 0, "b": 0},
-                ],
-            },
-            width=width,
-            run_pcc=run_pcc,
-        )
-
-        accuracy = self._accuracy(level1)
-        speed2 = level2.sim_speed_hz(self.cpu)
-        speed3 = level3.sim_speed_hz(self.cpu)
-        ratio = speed2 / speed3 if speed3 else float("inf")
-        return FlowReport(
-            config=self.config,
-            shots=self.shots,
-            level1=level1,
-            level2=level2,
-            level3=level3,
-            level4=level4,
-            recognition_accuracy=accuracy,
-            sim_speed_ratio=ratio,
-        )
-
-    def _accuracy(self, level1: Level1Result) -> float:
-        winners = level1.results.get("WINNER", [])
-        if not winners:
-            return 0.0
-        hits = sum(
-            1 for (identity, __), result in zip(self.shots, winners)
-            if result is not None and result[0] == identity
-        )
-        return hits / len(winners)
+        spec = self.session.spec
+        if deadline_ms != spec.deadline_ms or run_pcc != spec.run_pcc:
+            self.session = self.session.with_spec(deadline_ms=deadline_ms,
+                                                  run_pcc=run_pcc)
+        return self.session.report()
 
     def topology(self) -> str:
         return topology_figure(self.graph)

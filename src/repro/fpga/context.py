@@ -43,6 +43,14 @@ class Configuration:
         """Whether ``function`` is callable while this context is loaded."""
         return function in self.functions
 
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "functions": sorted(self.functions),
+            "gate_count": self.gate_count,
+            "bitstream_words": self.bitstream_words,
+        }
+
     @classmethod
     def build(
         cls,

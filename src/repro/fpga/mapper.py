@@ -70,6 +70,13 @@ class MappingChoice:
             f"{self.switches} switches, {self.downloaded_words} words downloaded"
         )
 
+    def to_dict(self) -> dict:
+        return {
+            "contexts": [c.to_dict() for c in self.contexts],
+            "switches": self.switches,
+            "downloaded_words": self.downloaded_words,
+        }
+
 
 class ContextMapper:
     """Enumerate and rank context partitions for a set of FPGA tasks."""

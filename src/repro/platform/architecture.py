@@ -88,6 +88,31 @@ class ArchitectureMetrics:
     def frame_latency_ps(self) -> float:
         return self.elapsed_ps / self.frames if self.frames else 0.0
 
+    def to_dict(self) -> dict:
+        """Schema-stable summary (bulky trace/journal fields are counted,
+        not embedded)."""
+        from repro.serialize import json_safe
+
+        return {
+            "schema": "repro.architecture_metrics/v1",
+            "frames": self.frames,
+            "elapsed_ps": self.elapsed_ps,
+            "wall_seconds": self.wall_seconds,
+            "frame_latency_ps": self.frame_latency_ps,
+            "cpu_cycles": self.cpu_cycles,
+            "cpu_busy_ps": self.cpu_busy_ps,
+            "hw_ops": self.hw_ops,
+            "sw_memory_words": self.sw_memory_words,
+            "energy_nj": self.energy_nj(),
+            "bus": json_safe(self.bus_report),
+            "memory": json_safe(self.memory_stats),
+            "fpga": json_safe(self.fpga_report),
+            "reconfig_events": len(self.reconfig_journal),
+            "consistency_violations": list(self.consistency_violations),
+            "trace_events": len(self.trace),
+            "results": json_safe(self.results),
+        }
+
     def simulated_cycles(self, cycle_ps: int) -> int:
         return self.elapsed_ps // cycle_ps if cycle_ps else 0
 

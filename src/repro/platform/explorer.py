@@ -38,6 +38,17 @@ class CandidateScore:
     def frame_latency_ms(self) -> float:
         return self.metrics.frame_latency_ps / 1e9
 
+    def to_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "objective": self.objective,
+            "frame_latency_ms": self.frame_latency_ms,
+            "bus_utilization": self.metrics.bus_report["utilization"],
+            "energy_nj": self.metrics.energy_nj(),
+            "hw_gates": self.partition.hw_gate_count(),
+            "partition": self.partition.to_dict(),
+        }
+
     def summary(self) -> str:
         m = self.metrics
         return (
@@ -60,6 +71,14 @@ class ExplorationResult:
         if not self.scores:
             raise ValueError("exploration produced no candidates")
         return self.scores[0]
+
+    def to_dict(self) -> dict:
+        """Schema-stable ranking document (best candidate first)."""
+        return {
+            "schema": "repro.exploration/v1",
+            "candidates": [s.to_dict() for s in self.scores],
+            "best": self.scores[0].label if self.scores else None,
+        }
 
     def describe(self) -> str:
         header = "architecture exploration results (best first):"

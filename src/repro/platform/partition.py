@@ -108,6 +108,18 @@ class Partition:
             fpga.discard(task_name)
         return Partition(self.graph, assignment, fpga)
 
+    def to_dict(self) -> dict:
+        """Schema-stable summary of the assignment."""
+        return {
+            "schema": "repro.partition/v1",
+            "graph": self.graph.name,
+            "sw": sorted(self.sw_tasks),
+            "hw": sorted(self.hardwired_tasks),
+            "fpga": sorted(self.fpga_tasks),
+            "crossing_channels": self.crossing_channels(),
+            "hw_gates": self.hw_gate_count(),
+        }
+
     def describe(self) -> str:
         lines = [f"partition of {self.graph.name}:"]
         for name in sorted(self.graph.tasks):

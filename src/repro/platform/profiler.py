@@ -32,6 +32,15 @@ class TaskProfile:
     def ops_per_firing(self) -> float:
         return self.total_ops / self.firings if self.firings else 0.0
 
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "firings": self.firings,
+            "total_ops": self.total_ops,
+            "words_in": self.words_in,
+            "words_out": self.words_out,
+        }
+
 
 @dataclass
 class Profile:
@@ -54,6 +63,15 @@ class Profile:
     def heaviest(self, count: int) -> list[str]:
         """Names of the ``count`` most demanding tasks."""
         return [t.name for t in self.ranking()[:count]]
+
+    def to_dict(self) -> dict:
+        """Schema-stable profile document (tasks in ranking order)."""
+        return {
+            "schema": "repro.profile/v1",
+            "graph": self.graph_name,
+            "total_ops": self.total_ops,
+            "tasks": [tp.to_dict() for tp in self.ranking()],
+        }
 
     def describe(self) -> str:
         """Human-readable profile table for flow reports."""

@@ -1,0 +1,50 @@
+"""JSON-safe conversion for result serialization.
+
+Every result object in the flow exposes ``to_dict()`` returning a plain,
+schema-stable dictionary; :func:`json_safe` is the shared coercion those
+methods use so numpy scalars, tuples, sets and nested containers all
+land as types the stdlib ``json`` encoder accepts.
+
+Schema stability contract: each top-level document carries a
+``"schema"`` key of the form ``"repro.<kind>/v<N>"``.  Consumers key off
+that string; producers bump ``N`` whenever a field is removed or changes
+meaning (adding fields is backwards compatible).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+try:  # numpy is a hard dependency of the case study, but keep this generic
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+
+def json_safe(value: Any) -> Any:
+    """Recursively coerce ``value`` into JSON-encodable builtins.
+
+    tuples and sets become (sorted, for sets) lists, numpy scalars become
+    Python scalars, numpy arrays become nested lists, dict keys become
+    strings, and objects exposing ``to_dict`` are serialized through it.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return value
+    if _np is not None:
+        if isinstance(value, _np.integer):
+            return int(value)
+        if isinstance(value, _np.floating):
+            return float(value)
+        if isinstance(value, _np.ndarray):
+            return json_safe(value.tolist())
+    if isinstance(value, dict):
+        return {str(k): json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [json_safe(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(json_safe(v) for v in value)
+    if hasattr(value, "to_dict"):
+        return value.to_dict()
+    return repr(value)

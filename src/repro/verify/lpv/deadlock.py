@@ -69,6 +69,19 @@ class DeadlockReport:
     def unresolved(self) -> list[DeadlockCandidate]:
         return [c for c in self.candidates if c.confirmed_trace is None]
 
+    def to_dict(self) -> dict:
+        return {
+            "schema": "repro.lpv_deadlock/v1",
+            "net": self.net_name,
+            "deadlock_free": self.deadlock_free,
+            "confirmed": [sorted(c.empty_places) for c in self.confirmed],
+            "unresolved": [sorted(c.empty_places) for c in self.unresolved],
+            "pruned_proofs": self.pruned_proofs,
+            "proven_classes": self.proven_classes,
+            "lp_calls": self.lp_calls,
+            "truncated": self.truncated,
+        }
+
     def describe(self) -> str:
         lines = [f"LPV deadlock analysis of {self.net_name}:"]
         if self.deadlock_free:

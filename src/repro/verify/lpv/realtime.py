@@ -40,6 +40,15 @@ class DeadlineReport:
     completion_ps: dict[str, int] = field(default_factory=dict)
     critical_path: list[str] = field(default_factory=list)
 
+    def to_dict(self) -> dict:
+        return {
+            "schema": "repro.lpv_deadline/v1",
+            "deadline_ps": self.deadline_ps,
+            "latency_ps": self.latency_ps,
+            "holds": self.holds,
+            "critical_path": list(self.critical_path),
+        }
+
     def describe(self) -> str:
         status = "PROVED" if self.holds else "VIOLATED"
         lines = [
@@ -56,6 +65,13 @@ class FifoSizingReport:
 
     period_ps: int
     capacities: dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": "repro.lpv_fifo_sizing/v1",
+            "period_ps": self.period_ps,
+            "capacities": dict(sorted(self.capacities.items())),
+        }
 
     def describe(self) -> str:
         lines = [f"LPV FIFO dimensioning (initiation interval {self.period_ps} ps):"]

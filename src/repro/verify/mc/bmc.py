@@ -45,6 +45,15 @@ class BmcResult:
     def holds_up_to_bound(self) -> bool:
         return not self.violated and self.solver_result is not SatResult.UNKNOWN
 
+    def to_dict(self) -> dict:
+        return {
+            "property": self.property_text,
+            "bound": self.bound,
+            "violated": self.violated,
+            "holds_up_to_bound": self.holds_up_to_bound,
+            "solver": self.solver_result.name,
+        }
+
     def describe(self) -> str:
         if self.violated:
             lines = [

@@ -70,6 +70,19 @@ class PccReport:
     def complete(self) -> bool:
         return not self.survivors
 
+    def to_dict(self) -> dict:
+        return {
+            "schema": "repro.pcc_report/v1",
+            "netlist": self.netlist_name,
+            "properties_checked": len(self.properties),
+            "mutants": len(self.verdicts),
+            "observable": self.observable_count,
+            "killed": self.killed_count,
+            "coverage": self.coverage,
+            "complete": self.complete,
+            "survivors": [v.mutation.describe() for v in self.survivors],
+        }
+
     def describe(self) -> str:
         lines = [
             f"PCC report for {self.netlist_name}",

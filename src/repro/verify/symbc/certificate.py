@@ -70,6 +70,23 @@ class SymbcVerdict:
     def consistent(self) -> bool:
         return self.certificate is not None and not self.counter_examples
 
+    def to_dict(self) -> dict:
+        return {
+            "schema": "repro.symbc_verdict/v1",
+            "consistent": self.consistent,
+            "call_sites_proved": (
+                self.certificate.call_sites_proved if self.certificate else 0
+            ),
+            "counter_examples": [
+                {
+                    "function": ce.function,
+                    "call_sid": ce.call_sid,
+                    "loaded_candidates": sorted(ce.loaded_candidates),
+                }
+                for ce in self.counter_examples
+            ],
+        }
+
     def describe(self) -> str:
         if self.consistent:
             return self.certificate.describe()

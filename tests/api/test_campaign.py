@@ -1,0 +1,126 @@
+"""Tests for CampaignSpec serialization and Campaign runs/sweeps."""
+
+import json
+
+import pytest
+
+from repro.api import Campaign, CampaignSpec, SweepResult
+
+SMALL = CampaignSpec(name="t", identities=2, poses=1, size=32, frames=1)
+
+
+class TestSpecRoundTrip:
+    def test_default_round_trip(self):
+        spec = CampaignSpec()
+        assert CampaignSpec.from_dict(spec.to_dict()) == spec
+
+    def test_custom_round_trip(self):
+        spec = CampaignSpec(
+            name="sweep-point", identities=4, poses=2, size=32, frames=2,
+            noise_sigma=1.0, seed=7, cpu="ARM9TDMI", capacity_gates=20_000,
+            deadline_ms=None, levels=(2, 3), run_pcc=True,
+        )
+        assert CampaignSpec.from_dict(spec.to_dict()) == spec
+
+    def test_round_trip_through_json(self):
+        spec = SMALL.replace(levels=(1, 4))
+        recovered = CampaignSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert recovered == spec
+        assert isinstance(recovered.levels, tuple)
+
+    def test_schema_tag(self):
+        assert SMALL.to_dict()["schema"] == "repro.campaign_spec/v1"
+
+    def test_rejects_wrong_schema(self):
+        payload = dict(SMALL.to_dict(), schema="repro.campaign_spec/v999")
+        with pytest.raises(ValueError, match="unsupported spec schema"):
+            CampaignSpec.from_dict(payload)
+
+    def test_rejects_unknown_fields(self):
+        payload = dict(SMALL.to_dict(), turbo=True)
+        with pytest.raises(ValueError, match="unknown spec fields"):
+            CampaignSpec.from_dict(payload)
+
+    def test_validates_levels(self):
+        with pytest.raises(ValueError, match="levels"):
+            CampaignSpec(levels=(0, 5))
+        with pytest.raises(ValueError, match="levels"):
+            CampaignSpec(levels=())
+
+    def test_validates_workload(self):
+        with pytest.raises(ValueError):
+            CampaignSpec(size=31)  # odd frame size
+        with pytest.raises(ValueError):
+            CampaignSpec(frames=0)
+
+
+class TestCampaignRun:
+    def test_full_run_produces_report(self):
+        outcome = Campaign(SMALL).run()
+        assert outcome.passed
+        assert outcome.gates == {1: True, 2: True, 3: True, 4: True}
+        assert outcome.report is not None and outcome.report.passed
+
+    def test_subset_run_has_no_report(self):
+        outcome = Campaign(SMALL.replace(levels=(1, 2))).run()
+        assert outcome.passed
+        assert set(outcome.results) == {"level1", "level2"}
+        assert outcome.report is None
+
+    def test_outcome_serializes(self):
+        outcome = Campaign(SMALL.replace(levels=(1,))).run()
+        document = json.loads(json.dumps(outcome.to_dict()))
+        assert document["schema"] == "repro.campaign_outcome/v1"
+        assert document["gates"] == {"1": True}
+        assert document["spec"]["name"] == "t"
+
+    def test_describe_mentions_verdict(self):
+        outcome = Campaign(SMALL.replace(levels=(1,))).run()
+        assert "PASSED" in outcome.describe()
+
+
+class TestSweep:
+    def test_grid_expansion_and_order(self):
+        sweep = Campaign.sweep(
+            SMALL.replace(levels=(1, 2)),
+            {"cpu": ["ARM7TDMI", "ARM9TDMI"], "frames": [1, 2]},
+        )
+        assert isinstance(sweep, SweepResult)
+        assert len(sweep.outcomes) == 4
+        points = [(o.spec.cpu, o.spec.frames) for o in sweep.outcomes]
+        assert points == [("ARM7TDMI", 1), ("ARM7TDMI", 2),
+                          ("ARM9TDMI", 1), ("ARM9TDMI", 2)]
+        assert sweep.passed
+
+    def test_point_names_carry_grid_values(self):
+        sweep = Campaign.sweep(SMALL.replace(levels=(1,)),
+                               {"seed": [1, 2]})
+        names = [o.spec.name for o in sweep.outcomes]
+        assert names == ["t[seed=1]", "t[seed=2]"]
+
+    def test_ranked_by_level2_latency(self):
+        sweep = Campaign.sweep(SMALL.replace(levels=(1, 2)),
+                               {"cpu": ["ARM7TDMI", "ARM9TDMI"]})
+        ranked = sweep.ranked()
+        latencies = [o.results["level2"].value.metrics.frame_latency_ps
+                     for o in ranked]
+        assert latencies == sorted(latencies)
+        assert ranked[0].spec.cpu == "ARM9TDMI"  # faster CPU, lower latency
+
+    def test_sweep_reuses_insensitive_stages_across_points(self):
+        """Grid points chain through with_spec: stages not sensitive to
+        the swept fields are computed once and carried, sensitive ones
+        are recomputed per point."""
+        sweep = Campaign.sweep(SMALL.replace(levels=(1, 2)),
+                               {"cpu": ["ARM7TDMI", "ARM9TDMI"]})
+        level1 = [o.results["level1"].value for o in sweep.outcomes]
+        assert level1[0] is level1[1]  # CPU-insensitive: carried over
+        level2 = [o.results["level2"].value for o in sweep.outcomes]
+        assert level2[0] is not level2[1]  # CPU-sensitive: recomputed
+
+    def test_sweep_serializes(self):
+        sweep = Campaign.sweep(SMALL.replace(levels=(1,)), {"seed": [1, 2]})
+        document = json.loads(json.dumps(sweep.to_dict()))
+        assert document["schema"] == "repro.campaign_sweep/v1"
+        assert document["grid"] == {"seed": [1, 2]}
+        assert len(document["runs"]) == 2

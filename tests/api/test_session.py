@@ -1,0 +1,145 @@
+"""Tests for Session: dependency resolution, caching, spec derivation."""
+
+import pytest
+
+from repro.api import CampaignSpec, Session
+
+SMALL = CampaignSpec(identities=2, poses=1, size=32, frames=1)
+
+
+@pytest.fixture(scope="module")
+def session():
+    """One session with levels 1-3 run (module-scoped: results are cached)."""
+    session = Session(SMALL)
+    session.run("level2")
+    session.run("level3")
+    return session
+
+
+class TestCaching:
+    def test_level3_reuses_cached_prerequisites(self):
+        """The acceptance criterion: running level 3 after level 2 must not
+        recompute levels 1-2's shared prerequisites."""
+        session = Session(SMALL)
+        session.run("level2")
+        counts_after_level2 = dict(session.compute_counts)
+        assert counts_after_level2 == {
+            "reference": 1, "level1": 1, "profile": 1, "partition": 1,
+            "level2": 1,
+        }
+        result = session.run("level3")
+        assert result.from_cache is False
+        # Everything level 3 shares with level 2 came from the cache.
+        assert session.compute_counts == dict(counts_after_level2, level3=1)
+
+    def test_cache_hit_marked(self, session):
+        first = session.run("level1")
+        assert first.from_cache is True  # computed by the fixture already
+        assert first.value is session.run("level1").value
+
+    def test_force_recomputes(self):
+        session = Session(SMALL)
+        session.run("profile")
+        session.run("profile")
+        assert session.compute_counts["profile"] == 1
+        session.run("profile", force=True)
+        assert session.compute_counts["profile"] == 2
+
+    def test_force_bypasses_level4_memo(self, monkeypatch):
+        """Level 4 is memoized process-wide, but force must recompute."""
+        from repro.api.stages import Level4Stage
+
+        calls = []
+
+        def fake_verify(self, run_pcc):
+            calls.append(run_pcc)
+            return len(calls)
+
+        monkeypatch.setattr(Level4Stage, "_verify", fake_verify)
+        monkeypatch.setattr(Level4Stage, "_memo", {})
+        first = Session(SMALL).run("level4").value
+        other = Session(SMALL)
+        assert other.run("level4").value == first  # memo shared
+        assert len(calls) == 1
+        assert other.run("level4", force=True).value != first
+        assert len(calls) == 2
+
+    def test_put_seeds_cache(self):
+        session = Session(SMALL)
+        donor = Session(SMALL)
+        session.put("profile", donor.value("profile"))
+        assert session.has("profile")
+        session.run("profile")
+        assert session.compute_counts.get("profile") is None
+
+    def test_invalidate_cascades(self):
+        session = Session(SMALL)
+        session.run("level2")
+        session.invalidate("level1")
+        assert not session.has("level1")
+        assert not session.has("level2")   # depends on level1
+        assert session.has("profile")      # independent of level1
+
+    def test_run_levels_subset(self):
+        session = Session(SMALL)
+        out = session.run_levels([4])
+        assert set(out) == {4}
+        assert "level1" not in session.compute_counts
+
+    def test_value_shortcut(self, session):
+        assert session.value("level1").matches_reference
+
+
+class TestReport:
+    def test_report_assembles_all_levels(self, session):
+        report = session.report()
+        assert report.passed
+        assert report.recognition_accuracy == 1.0
+        assert report.sim_speed_ratio > 1.0
+
+    def test_report_reuses_session_cache(self, session):
+        session.report()
+        session.report()
+        assert session.compute_counts["level1"] == 1
+
+
+class TestWithSpec:
+    def test_workload_change_drops_everything(self, session):
+        derived = session.with_spec(frames=2)
+        assert not derived.has("level1")
+        assert not derived.has("level2")
+
+    def test_cpu_change_keeps_untimed_stages(self, session):
+        derived = session.with_spec(cpu="ARM9TDMI")
+        # Untimed artifacts are CPU-independent: carried over.
+        for kept in ("reference", "level1", "profile", "partition"):
+            assert derived.has(kept), kept
+        # Timed simulations depend on the CPU: recomputed.
+        assert not derived.has("level2")
+        assert not derived.has("level3")
+
+    def test_deadline_change_only_drops_level2(self, session):
+        derived = session.with_spec(deadline_ms=100.0)
+        assert derived.has("level1")
+        assert derived.has("level3")
+        assert not derived.has("level2")
+
+    def test_capacity_change_only_drops_level3(self, session):
+        derived = session.with_spec(capacity_gates=20_000)
+        assert derived.has("level2")
+        assert not derived.has("level3")
+
+    def test_derived_session_artifacts_shared(self, session):
+        derived = session.with_spec(deadline_ms=100.0)
+        assert derived.graph is session.graph
+        assert derived.database is session.database
+
+
+class TestErrors:
+    def test_unknown_cpu(self):
+        with pytest.raises(KeyError, match="unknown CPU"):
+            Session(SMALL.replace(cpu="Z80"))
+
+    def test_unknown_stage(self):
+        with pytest.raises(KeyError, match="unknown stage"):
+            Session(SMALL).run("bogus")

@@ -1,11 +1,13 @@
 """Tests for the command-line driver."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
 
-WORKLOAD = ["--identities", "2", "--poses", "1", "--size", "32",
-            "--frames", "1"]
+WORKLOAD = ["--identities", "2", "--poses", "1", "--size", "32"]
+SIM_WORKLOAD = WORKLOAD + ["--frames", "1"]
 
 
 class TestParser:
@@ -18,6 +20,18 @@ class TestParser:
         for command in ("topology", "flow", "explore", "verify", "wave"):
             args = parser.parse_args([command])
             assert callable(args.func)
+        args = parser.parse_args(["campaign", "spec.json"])
+        assert callable(args.func)
+
+    def test_frames_only_where_simulated(self):
+        """topology/verify don't simulate frames: the arg is not offered."""
+        parser = build_parser()
+        for command in ("topology", "verify"):
+            with pytest.raises(SystemExit):
+                parser.parse_args([command, "--frames", "3"])
+        for command in ("flow", "explore"):
+            args = parser.parse_args([command, "--frames", "3"])
+            assert args.frames == 3
 
 
 class TestCommands:
@@ -31,10 +45,24 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "deadlock-free" in out
 
+    def test_verify_json(self, capsys):
+        assert main(["verify", *WORKLOAD, "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema"] == "repro.lpv_deadlock/v1"
+        assert document["deadlock_free"] is True
+
     def test_explore(self, capsys):
-        assert main(["explore", *WORKLOAD, "--max-hw", "2"]) == 0
+        assert main(["explore", *SIM_WORKLOAD, "--max-hw", "2"]) == 0
         out = capsys.readouterr().out
         assert "all-sw" in out and "objective" in out
+
+    def test_explore_json(self, capsys):
+        assert main(["explore", *SIM_WORKLOAD, "--max-hw", "1", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema"] == "repro.explore/v1"
+        assert document["profile"]["schema"] == "repro.profile/v1"
+        labels = [c["label"] for c in document["exploration"]["candidates"]]
+        assert "all-sw" in labels
 
     def test_wave(self, tmp_path, capsys):
         out_file = tmp_path / "trace.vcd"
@@ -45,7 +73,63 @@ class TestCommands:
         assert "b111 " in text  # isqrt(49) = 7
 
     def test_flow_small(self, capsys):
-        assert main(["flow", *WORKLOAD]) == 0
+        assert main(["flow", *SIM_WORKLOAD]) == 0
         out = capsys.readouterr().out
         assert "level 4" in out
         assert "simulation speed ratio" in out
+
+    def test_flow_json(self, capsys):
+        assert main(["flow", *SIM_WORKLOAD, "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema"] == "repro.flow_report/v1"
+        assert document["passed"] is True
+        assert set(document["levels"]) == {"level1", "level2", "level3",
+                                           "level4"}
+        assert document["workload"]["frames"] == 1
+
+
+class TestCampaignCommand:
+    SPEC = {
+        "schema": "repro.campaign_spec/v1",
+        "name": "cli-test",
+        "identities": 2,
+        "poses": 1,
+        "size": 32,
+        "frames": 1,
+    }
+
+    def _write(self, tmp_path, payload):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_single_run(self, tmp_path, capsys):
+        spec = dict(self.SPEC, levels=[1, 2])
+        assert main(["campaign", self._write(tmp_path, spec)]) == 0
+        out = capsys.readouterr().out
+        assert "PASSED" in out and "cli-test" in out
+
+    def test_single_run_json(self, tmp_path, capsys):
+        spec = dict(self.SPEC, levels=[3])
+        assert main(["campaign", self._write(tmp_path, spec), "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema"] == "repro.campaign_outcome/v1"
+        assert document["passed"] is True
+        assert list(document["stages"]) == ["level3"]
+        assert document["report"] is None  # not all four levels ran
+
+    def test_sweep(self, tmp_path, capsys):
+        payload = {"spec": dict(self.SPEC, levels=[1, 2]),
+                   "sweep": {"cpu": ["ARM7TDMI", "ARM9TDMI"]}}
+        assert main(["campaign", self._write(tmp_path, payload),
+                     "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema"] == "repro.campaign_sweep/v1"
+        assert len(document["runs"]) == 2
+        cpus = {run["spec"]["cpu"] for run in document["runs"]}
+        assert cpus == {"ARM7TDMI", "ARM9TDMI"}
+
+    def test_rejects_unknown_field(self, tmp_path):
+        spec = dict(self.SPEC, bogus=1)
+        with pytest.raises(ValueError, match="unknown spec fields"):
+            main(["campaign", self._write(tmp_path, spec)])
