@@ -25,6 +25,8 @@ def main() -> None:
     )
 
     # CPU x FPGA-capacity grid: 4 architectures, each in its own session.
+    # (Pass jobs=4 to fan the grid points out over a process pool; the
+    # merged result is identical, minus cross-point cache reuse.)
     sweep = Campaign.sweep(base, {
         "cpu": ["ARM7TDMI", "ARM9TDMI"],
         "capacity_gates": [13_000, 20_000],

@@ -4,10 +4,11 @@ The methodology's activities are :class:`~repro.api.stages.Stage` units
 in a registry; a :class:`~repro.api.session.Session` owns the shared
 workload artifacts and runs any subset of stages with dependency
 resolution and caching; a :class:`~repro.api.spec.CampaignSpec` is the
-declarative, serializable description of one run, and
+declarative, serializable description of one run — including which
+registered :mod:`repro.workloads` scenario it drives — and
 :class:`~repro.api.campaign.Campaign` executes specs (or grids of them,
-via :meth:`~repro.api.campaign.Campaign.sweep`) into JSON-ready
-outcomes.
+via :meth:`~repro.api.campaign.Campaign.sweep`, serially or over a
+process pool with ``jobs=N``) into JSON-ready outcomes.
 
 Quick tour::
 
@@ -22,6 +23,9 @@ Quick tour::
     outcome = Campaign(spec).run()              # gates + serializable result
     sweep = Campaign.sweep(spec, {"cpu": ["ARM7TDMI", "ARM9TDMI"]})
     print(sweep.describe())
+
+    cipher = CampaignSpec(workload="blockcipher", frames=8)
+    Campaign(cipher).run()         # same flow, different scenario
 """
 
 from repro.api.campaign import (
@@ -31,7 +35,7 @@ from repro.api.campaign import (
     SweepResult,
 )
 from repro.api.session import Session
-from repro.api.spec import ALL_LEVELS, CampaignSpec, SPEC_SCHEMA
+from repro.api.spec import ALL_LEVELS, CampaignSpec, SPEC_SCHEMA, SPEC_SCHEMA_V1
 from repro.api.stages import (
     FlowStage,
     LEVEL_STAGES,
@@ -42,6 +46,12 @@ from repro.api.stages import (
     get_stage,
     register,
     stage_names,
+)
+from repro.workloads import (
+    Workload,
+    get_workload,
+    register_workload,
+    workload_names,
 )
 
 __all__ = [
@@ -54,12 +64,17 @@ __all__ = [
     "LEVEL_STAGES",
     "REFERENCE_CHANNELS",
     "SPEC_SCHEMA",
+    "SPEC_SCHEMA_V1",
     "Session",
     "Stage",
     "StageResult",
     "SweepResult",
     "WORKLOAD_FIELDS",
+    "Workload",
     "get_stage",
+    "get_workload",
     "register",
+    "register_workload",
     "stage_names",
+    "workload_names",
 ]

@@ -2,10 +2,12 @@
 
 A :class:`Campaign` executes one :class:`~repro.api.spec.CampaignSpec`
 in a fresh :class:`~repro.api.session.Session`, evaluates the paper's
-per-level pass gates, and returns a serializable
-:class:`CampaignOutcome`.  :meth:`Campaign.sweep` expands a field grid
-into specs and fans them out over sessions — the batch entry point for
-architecture exploration at scale.
+per-level pass gates plus the workload's accuracy threshold, and returns
+a serializable :class:`CampaignOutcome`.  :meth:`Campaign.sweep` expands
+a field grid into specs and fans them out over sessions — serially (one
+derived session per point, maximising cache reuse) or, with ``jobs=N``,
+over a :mod:`multiprocessing` pool where every grid point runs in its
+own process and the results are merged from their ``to_dict`` payloads.
 """
 
 from __future__ import annotations
@@ -51,6 +53,7 @@ class CampaignOutcome:
     gates: dict[int, bool]
     wall_seconds: float
     report: Optional[Any] = None  # FlowReport when all four levels ran
+    accuracy: Optional[float] = None  # workload score when level 1 ran
 
     @property
     def passed(self) -> bool:
@@ -62,6 +65,7 @@ class CampaignOutcome:
             "spec": self.spec.to_dict(),
             "passed": self.passed,
             "gates": {str(level): ok for level, ok in sorted(self.gates.items())},
+            "accuracy": self.accuracy,
             "wall_seconds": self.wall_seconds,
             "stages": {
                 name: result.to_dict()
@@ -77,7 +81,7 @@ class CampaignOutcome:
             for level, ok in sorted(self.gates.items())
         )
         lines = [
-            f"campaign {self.spec.name!r}: {verdict} "
+            f"campaign {self.spec.name!r} ({self.spec.workload}): {verdict} "
             f"({gates}; {self.wall_seconds:.1f}s wall)",
         ]
         for name, result in sorted(self.results.items()):
@@ -85,6 +89,27 @@ class CampaignOutcome:
             if describe is not None:
                 lines.append(describe())
         return "\n".join(lines)
+
+
+def _available_cpus() -> int:
+    """CPUs actually usable by this process (affinity-aware)."""
+    import os
+
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover (non-Linux)
+        return os.cpu_count() or 1
+
+
+def _run_spec_payload(spec_doc: dict) -> dict:
+    """Pool worker: run one spec document, return the outcome payload.
+
+    Module-level (picklable by name) on purpose; live outcomes carry
+    unpicklable artifacts (task lambdas, numpy closures), so only the
+    serialized form crosses the process boundary.
+    """
+    spec = CampaignSpec.from_dict(spec_doc)
+    return Campaign(spec).run().to_dict()
 
 
 class Campaign:
@@ -99,9 +124,14 @@ class Campaign:
         start = _time.perf_counter()
         results: dict[str, StageResult] = {}
         gates: dict[int, bool] = {}
+        accuracy: Optional[float] = None
         for level, stage_result in session.run_levels(self.spec.levels).items():
             results[LEVEL_STAGES[level]] = stage_result
             gates[level] = LEVEL_GATES[level](stage_result.value)
+        if 1 in gates:
+            # The workload's own pass threshold rides on the level-1 gate.
+            accuracy = session.accuracy()
+            gates[1] = gates[1] and accuracy >= session.workload.min_accuracy
         report = None
         if set(self.spec.levels) == set(ALL_LEVELS):
             report = session.report()
@@ -111,52 +141,121 @@ class Campaign:
             gates=gates,
             wall_seconds=_time.perf_counter() - start,
             report=report,
+            accuracy=accuracy,
         )
+
+    @staticmethod
+    def sweep_specs(
+        base: CampaignSpec,
+        grid: Mapping[str, Sequence[Any]],
+    ) -> list[CampaignSpec]:
+        """Expand ``grid`` into the ordered list of per-point specs.
+
+        The order is the cartesian product of the grid values with the
+        **last** grid key varying fastest (``itertools.product`` over the
+        keys in their mapping-insertion order) — pinned by test so serial
+        and parallel sweeps always return identically ordered results.
+        """
+        keys = list(grid)
+        specs: list[CampaignSpec] = []
+        for combo in itertools.product(*(grid[k] for k in keys)):
+            changes = dict(zip(keys, combo))
+            label = ",".join(f"{k}={v}" for k, v in changes.items())
+            name = f"{base.name}[{label}]" if label else base.name
+            specs.append(base.replace(name=name, **changes))
+        return specs
 
     @classmethod
     def sweep(
         cls,
         base: CampaignSpec,
         grid: Mapping[str, Sequence[Any]],
+        jobs: int = 1,
     ) -> "SweepResult":
         """Fan a spec grid out over sessions.
 
         ``grid`` maps spec field names to candidate values; the cartesian
-        product is run in grid order, each point in its own session.
-        Consecutive sessions are derived with
+        product is run in the order :meth:`sweep_specs` documents (last
+        key varying fastest), each point in its own session.
+
+        With ``jobs=1`` (default) points run serially and consecutive
+        sessions are derived with
         :meth:`~repro.api.session.Session.with_spec`, so stage results
         not sensitive to the grid fields (and the workload artifacts,
         when the grid does not touch the workload) are computed once and
         carried across points instead of recomputed.
+
+        With ``jobs>1`` the points fan out over a ``multiprocessing``
+        pool, one fresh process-hosted session per point, and the merged
+        :class:`SweepResult` is built from the workers' ``to_dict``
+        payloads (order preserved).  Cross-point cache reuse does not
+        apply, but independent points use all cores.  ``jobs`` is a
+        ceiling: the pool never exceeds the grid size or the CPUs
+        actually available to this process (oversubscribing a CPU quota
+        makes the simulation-heavy points dramatically slower, not
+        faster).
         """
-        keys = list(grid)
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        specs = cls.sweep_specs(base, grid)
+        grid_doc = {k: list(v) for k, v in grid.items()}
+        if jobs > 1:
+            import multiprocessing
+
+            # Prefer fork where available: workers inherit the parent's
+            # workload registry, so runtime-registered custom workloads
+            # sweep correctly.  Under spawn (Windows), workloads must be
+            # registered at import time of an importable module.
+            try:
+                ctx = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover (no fork on platform)
+                ctx = multiprocessing.get_context()
+            processes = max(1, min(jobs, len(specs), _available_cpus()))
+            with ctx.Pool(processes=processes) as pool:
+                payloads = pool.map(_run_spec_payload,
+                                    [spec.to_dict() for spec in specs])
+            return SweepResult(base=base, grid=grid_doc, outcomes=[],
+                               payloads=payloads, jobs=jobs)
         outcomes: list[CampaignOutcome] = []
         session: Optional[Session] = None
-        for combo in itertools.product(*(grid[k] for k in keys)):
-            changes = dict(zip(keys, combo))
-            label = ",".join(f"{k}={v}" for k, v in changes.items())
-            name = f"{base.name}[{label}]" if label else base.name
+        for spec in specs:
             # Every grid key is set explicitly at every point, so deriving
             # from the previous point leaves no stale grid field behind.
             if session is None:
-                session = Session(base.replace(name=name, **changes))
+                session = Session(spec)
             else:
-                session = session.with_spec(name=name, **changes)
+                session = session.with_spec(
+                    name=spec.name, **{k: getattr(spec, k) for k in grid})
             outcomes.append(cls(session.spec).run(session=session))
-        return SweepResult(base=base, grid={k: list(v) for k, v in grid.items()},
-                           outcomes=outcomes)
+        return SweepResult(base=base, grid=grid_doc, outcomes=outcomes)
 
 
 @dataclass
 class SweepResult:
-    """Outcomes of one spec-grid sweep, in grid order."""
+    """Outcomes of one spec-grid sweep, in grid order.
+
+    Serial sweeps carry live :class:`CampaignOutcome` objects in
+    ``outcomes``; parallel sweeps (``jobs>1``) carry the workers'
+    serialized payloads in ``payloads`` instead.  ``runs()`` exposes the
+    uniform serialized view for both.
+    """
 
     base: CampaignSpec
     grid: dict[str, list]
     outcomes: list[CampaignOutcome] = field(default_factory=list)
+    payloads: Optional[list[dict]] = None
+    jobs: int = 1
+
+    def runs(self) -> list[dict]:
+        """The per-point outcome documents, in grid order."""
+        if self.payloads is not None:
+            return self.payloads
+        return [outcome.to_dict() for outcome in self.outcomes]
 
     @property
     def passed(self) -> bool:
+        if self.payloads is not None:
+            return all(payload["passed"] for payload in self.payloads)
         return all(outcome.passed for outcome in self.outcomes)
 
     def ranked(self) -> list[CampaignOutcome]:
@@ -164,7 +263,14 @@ class SweepResult:
 
         Outcomes without a level-2 result keep their grid order at the
         end — the natural grading for architecture-exploration sweeps.
+        Only available on serial sweeps, which hold live outcomes.
         """
+        if self.payloads is not None:
+            raise RuntimeError(
+                "ranked() needs live outcomes; parallel sweeps hold "
+                "serialized payloads — use ranked_runs()"
+            )
+
         def key(outcome: CampaignOutcome):
             result = outcome.results.get("level2")
             if result is None:
@@ -172,30 +278,57 @@ class SweepResult:
             return (0, result.value.metrics.frame_latency_ps)
         return sorted(self.outcomes, key=key)
 
+    def ranked_runs(self) -> list[dict]:
+        """Per-point documents ranked by level-2 frame latency."""
+        def key(payload: dict):
+            level2 = payload["stages"].get("level2")
+            if level2 is None:
+                return (1, 0.0)
+            return (0, level2["value"]["metrics"]["frame_latency_ps"])
+        return sorted(self.runs(), key=key)
+
     def to_dict(self) -> dict:
         return {
             "schema": "repro.campaign_sweep/v1",
             "base": self.base.to_dict(),
             "grid": self.grid,
+            "jobs": self.jobs,
             "passed": self.passed,
-            "runs": [outcome.to_dict() for outcome in self.outcomes],
+            "runs": self.runs(),
         }
 
+    def _summaries(self) -> list[tuple[str, bool, Optional[float], float]]:
+        """(name, passed, level2 latency ps, wall s) per point — reads
+        live outcomes directly so serial sweeps don't pay a full
+        serialization just to print a summary line each."""
+        rows = []
+        if self.payloads is not None:
+            for payload in self.payloads:
+                level2 = payload["stages"].get("level2")
+                latency = (level2["value"]["metrics"]["frame_latency_ps"]
+                           if level2 is not None else None)
+                rows.append((payload["spec"]["name"], payload["passed"],
+                             latency, payload["wall_seconds"]))
+        else:
+            for outcome in self.outcomes:
+                level2 = outcome.results.get("level2")
+                latency = (level2.value.metrics.frame_latency_ps
+                           if level2 is not None else None)
+                rows.append((outcome.spec.name, outcome.passed, latency,
+                             outcome.wall_seconds))
+        return rows
+
     def describe(self) -> str:
+        rows = self._summaries()
+        mode = f", jobs={self.jobs}" if self.jobs > 1 else ""
         lines = [
             f"campaign sweep over {list(self.grid)} "
-            f"({len(self.outcomes)} runs, "
+            f"({len(rows)} runs{mode}, "
             f"{'all PASSED' if self.passed else 'FAILURES present'}):",
         ]
-        for outcome in self.outcomes:
-            verdict = "PASSED" if outcome.passed else "FAILED"
-            extra = ""
-            level2 = outcome.results.get("level2")
-            if level2 is not None:
-                latency = level2.value.metrics.frame_latency_ps / 1e9
-                extra = f" latency={latency:.3f} ms/frame"
-            lines.append(
-                f"  {outcome.spec.name:<40} {verdict}{extra} "
-                f"({outcome.wall_seconds:.1f}s)"
-            )
+        for name, passed, latency_ps, wall in rows:
+            verdict = "PASSED" if passed else "FAILED"
+            extra = (f" latency={latency_ps / 1e9:.3f} ms/frame"
+                     if latency_ps is not None else "")
+            lines.append(f"  {name:<40} {verdict}{extra} ({wall:.1f}s)")
         return "\n".join(lines)

@@ -1,11 +1,15 @@
 """Sessions: shared artifacts + a dependency-resolving stage cache.
 
 A :class:`Session` owns the expensive workload artifacts of one
-campaign (enrolled database, application graph, reference model, camera
-frames) and drives registered stages over them.  Results are cached, so
-running level 3 after level 2 reuses the level-1 simulation, the profile
-and the partitions instead of recomputing them — the paper's "levels can
-be entered and re-run independently" made concrete.
+campaign (enrolled environment, application graph, reference model,
+sampled stimuli) and drives registered stages over them.  Results are
+cached, so running level 3 after level 2 reuses the level-1 simulation,
+the profile and the partitions instead of recomputing them — the paper's
+"levels can be entered and re-run independently" made concrete.
+
+The session is workload-agnostic: the spec's ``workload`` field selects
+a registered :class:`~repro.workloads.base.Workload`, which builds every
+application-specific artifact.
 
 ``with_spec`` derives a new session for a modified spec, carrying over
 both the workload artifacts (when the workload fields are untouched) and
@@ -27,10 +31,6 @@ from repro.api.stages import (
     WORKLOAD_FIELDS,
     get_stage,
 )
-from repro.facerec.camera import CameraConfig, FaceSampler
-from repro.facerec.database import enroll_database
-from repro.facerec.pipeline import FacerecConfig, build_graph
-from repro.facerec.reference import ReferenceModel
 from repro.platform.cpu import CPU_LIBRARY, CpuModel
 
 
@@ -47,7 +47,10 @@ class Session:
         if overrides:
             spec = spec.replace(**overrides)
         self.spec = spec
-        self.config = spec.workload()
+        #: the registered workload implementation driving this session
+        self.workload = spec.workload_impl()
+        #: the workload's validated parameter record
+        self.config = spec.workload_config()
         self._cpu_model = cpu_model
         if cpu_model is not None:
             self.cpu = cpu_model
@@ -77,40 +80,39 @@ class Session:
         return self._artifacts[name]
 
     @property
+    def environment(self):
+        """The workload's enrolled/derived data (database, keys, ...)."""
+        return self._artifact("environment", lambda: (
+            self.workload.build_environment(self.spec)))
+
+    @property
     def database(self):
-        return self._artifact("database", lambda: enroll_database(
-            self.config.identities, self.config.poses, self.config.size))
+        """Historical alias for :attr:`environment`."""
+        return self.environment
 
     @property
     def graph(self):
-        return self._artifact("graph", lambda: build_graph(
-            self.config, self.database))
+        return self._artifact("graph", lambda: self.workload.build_graph(
+            self.spec, self.environment))
 
     @property
-    def reference(self) -> ReferenceModel:
-        return self._artifact("reference",
-                              lambda: ReferenceModel(self.database))
+    def reference(self):
+        return self._artifact("reference_model", lambda: (
+            self.workload.reference_model(self.spec, self.environment)))
 
     @property
-    def shots(self) -> list[tuple[int, int]]:
-        spec = self.spec
-        return self._artifact("shots", lambda: [
-            (i % spec.identities, (i * 7) % spec.poses)
-            for i in range(spec.frames)
-        ])
+    def shots(self) -> list:
+        return self._artifact("shots",
+                              lambda: self.workload.shots(self.spec))
 
     @property
     def frames(self) -> list:
-        def build():
-            sampler = FaceSampler(CameraConfig(
-                size=self.spec.size, noise_sigma=self.spec.noise_sigma,
-                seed=self.spec.seed))
-            return sampler.frames(self.shots)
-        return self._artifact("frames", build)
+        return self._artifact("frames", lambda: (
+            self.workload.sample_inputs(self.spec, self.shots)))
 
     def stimuli(self) -> dict[str, list]:
         """A fresh stimuli dict for one simulation run."""
-        return {"CAMERA": list(self.frames)}
+        return {self.workload.source_task: list(self.frames)}
 
     # -- stage execution ----------------------------------------------------------
 
@@ -177,21 +179,27 @@ class Session:
 
     # -- aggregate results --------------------------------------------------------
 
+    def accuracy(self) -> float:
+        """The workload's application-level score over the level-1 run."""
+        results = self.value("level1").results
+        return self.workload.score(self.shots, results)
+
     def recognition_accuracy(self) -> float:
-        """Fraction of probe frames the level-1 model identifies correctly."""
-        winners = self.value("level1").results.get("WINNER", [])
-        if not winners:
-            return 0.0
-        hits = sum(
-            1 for (identity, __), result in zip(self.shots, winners)
-            if result is not None and result[0] == identity
-        )
-        return hits / len(winners)
+        """Historical alias for :meth:`accuracy`."""
+        return self.accuracy()
 
     def report(self):
         """Run all four levels and assemble the :class:`FlowReport`."""
-        from repro.flow.methodology import FlowReport
+        from dataclasses import asdict, is_dataclass
 
+        from repro.flow.methodology import FlowReport
+        from repro.serialize import json_safe
+
+        config = self.config
+        if is_dataclass(config) and not isinstance(config, type):
+            params = asdict(config)
+        else:
+            params = json_safe(dict(config))
         level1 = self.value("level1")
         level2 = self.value("level2")
         level3 = self.value("level3")
@@ -199,13 +207,15 @@ class Session:
         speed2 = level2.sim_speed_hz(self.cpu)
         speed3 = level3.sim_speed_hz(self.cpu)
         return FlowReport(
-            config=self.config,
+            workload_name=self.workload.name,
+            params=params,
             shots=self.shots,
             level1=level1,
             level2=level2,
             level3=level3,
             level4=level4,
-            recognition_accuracy=self.recognition_accuracy(),
+            recognition_accuracy=self.accuracy(),
+            min_accuracy=self.workload.min_accuracy,
             sim_speed_ratio=speed2 / speed3 if speed3 else float("inf"),
         )
 

@@ -1,22 +1,26 @@
 """Declarative campaign specifications.
 
 A :class:`CampaignSpec` captures everything one flow run depends on —
-workload, CPU, FPGA capacity, real-time deadline and the subset of
-refinement levels to execute — as a frozen, serializable value.  Specs
-round-trip losslessly through ``to_dict``/``from_dict`` so campaigns can
-be stored in files, shipped between machines and fanned out over grids
-(:meth:`repro.api.campaign.Campaign.sweep`).
+the workload (by registry name), its parameters, CPU, FPGA capacity,
+real-time deadline and the subset of refinement levels to execute — as a
+frozen, serializable value.  Specs round-trip losslessly through
+``to_dict``/``from_dict`` so campaigns can be stored in files, shipped
+between machines and fanned out over grids — serially or over a process
+pool (:meth:`repro.api.campaign.Campaign.sweep`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields
+from dataclasses import dataclass, field, fields
 from dataclasses import replace as _dataclass_replace
 from typing import Any, Mapping, Optional
 
-from repro.facerec.pipeline import FacerecConfig
+from repro.workloads import get_workload
 
-SPEC_SCHEMA = "repro.campaign_spec/v1"
+SPEC_SCHEMA = "repro.campaign_spec/v2"
+#: The pre-workload schema (no ``workload``/``params`` fields); still
+#: accepted by :meth:`CampaignSpec.from_dict` and read as facerec.
+SPEC_SCHEMA_V1 = "repro.campaign_spec/v1"
 
 #: The four refinement levels of the methodology.
 ALL_LEVELS = (1, 2, 3, 4)
@@ -26,7 +30,11 @@ ALL_LEVELS = (1, 2, 3, 4)
 class CampaignSpec:
     """One fully-specified flow campaign.
 
-    ``cpu`` names a model in
+    ``workload`` names an implementation in the
+    :mod:`repro.workloads` registry; ``params`` carries free-form
+    workload knobs (validated by the workload), while the historical
+    ``identities``/``poses``/``size`` fields remain the facerec
+    workload's parameters.  ``cpu`` names a model in
     :data:`repro.platform.cpu.CPU_LIBRARY`; ``levels`` is the subset of
     refinement levels to run (dependencies between levels are resolved
     by the :class:`~repro.api.session.Session`, not the spec);
@@ -34,6 +42,7 @@ class CampaignSpec:
     """
 
     name: str = "case-study"
+    workload: str = "facerec"
     identities: int = 10
     poses: int = 2
     size: int = 48
@@ -45,9 +54,12 @@ class CampaignSpec:
     deadline_ms: Optional[float] = 500.0
     levels: tuple[int, ...] = ALL_LEVELS
     run_pcc: bool = False
+    params: Mapping[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "levels", tuple(self.levels))
+        object.__setattr__(self, "params",
+                          {k: self.params[k] for k in sorted(self.params)})
         bad = [lv for lv in self.levels if lv not in ALL_LEVELS]
         if bad or not self.levels:
             raise ValueError(
@@ -60,13 +72,27 @@ class CampaignSpec:
             raise ValueError("capacity_gates must be >= 1")
         if not self.cpu:
             raise ValueError("cpu must name a CPU model")
-        # Delegate workload validation to the config it will become.
-        self.workload()
+        # Resolve the workload (raises on unknown names) and delegate
+        # parameter validation to it.
+        self.workload_config()
 
-    def workload(self) -> FacerecConfig:
-        """The workload part of the spec as a validated config."""
-        return FacerecConfig(identities=self.identities, poses=self.poses,
-                             size=self.size)
+    def __hash__(self) -> int:
+        # The dataclass-generated hash would choke on the dict-typed
+        # ``params`` field; hash its canonical JSON form instead so
+        # frozen specs keep working as dict/set keys.
+        import json
+
+        plain = [(f.name, getattr(self, f.name)) for f in fields(self)
+                 if f.name != "params"]
+        return hash((tuple(plain), json.dumps(self.params, sort_keys=True)))
+
+    def workload_impl(self):
+        """The registered :class:`~repro.workloads.base.Workload`."""
+        return get_workload(self.workload)
+
+    def workload_config(self) -> Any:
+        """The workload part of the spec as a validated config record."""
+        return self.workload_impl().config(self)
 
     @property
     def deadline_ps(self) -> Optional[int]:
@@ -80,6 +106,7 @@ class CampaignSpec:
         return {
             "schema": SPEC_SCHEMA,
             "name": self.name,
+            "workload": self.workload,
             "identities": self.identities,
             "poses": self.poses,
             "size": self.size,
@@ -91,16 +118,29 @@ class CampaignSpec:
             "deadline_ms": self.deadline_ms,
             "levels": list(self.levels),
             "run_pcc": self.run_pcc,
+            "params": dict(self.params),
         }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "CampaignSpec":
-        """Inverse of :meth:`to_dict`; rejects unknown keys and schemas."""
+        """Inverse of :meth:`to_dict`; rejects unknown keys and schemas.
+
+        Both the current schema and the pre-workload ``v1`` documents
+        are accepted: a v1 document simply has no ``workload``/``params``
+        keys and reads as a facerec campaign.
+        """
         payload = dict(data)
         schema = payload.pop("schema", SPEC_SCHEMA)
-        if schema != SPEC_SCHEMA:
+        if schema == SPEC_SCHEMA_V1:
+            v2_only = {"workload", "params"} & set(payload)
+            if v2_only:
+                raise ValueError(
+                    f"v1 spec documents cannot carry {sorted(v2_only)}; "
+                    f"use schema {SPEC_SCHEMA!r}"
+                )
+        elif schema != SPEC_SCHEMA:
             raise ValueError(f"unsupported spec schema {schema!r} "
-                             f"(expected {SPEC_SCHEMA!r})")
+                             f"(expected {SPEC_SCHEMA!r} or {SPEC_SCHEMA_V1!r})")
         known = {f.name for f in fields(cls)}
         unknown = set(payload) - known
         if unknown:

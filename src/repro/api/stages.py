@@ -9,6 +9,10 @@ of the flow by name, and each stage declares which
 :class:`~repro.api.spec.CampaignSpec` fields it is ``sensitive_to`` so
 cached results survive spec changes that cannot affect them
 (see :meth:`~repro.api.session.Session.with_spec`).
+
+Stages are workload-agnostic: anything application-specific (graph,
+golden trace, partitions, level-4 verification plan) is delegated to the
+session's registered :class:`~repro.workloads.base.Workload`.
 """
 
 from __future__ import annotations
@@ -17,27 +21,19 @@ import time as _time
 from dataclasses import dataclass
 from typing import Any, Protocol, TYPE_CHECKING, runtime_checkable
 
-from repro.facerec.pipeline import case_study_partition
-from repro.facerec.swmodels import (
-    distance_step_function,
-    distance_step_reference,
-    root_function,
-)
-from repro.facerec.stages import isqrt
-from repro.facerec.tracing import Trace
 from repro.flow.level1 import run_level1
 from repro.flow.level2 import run_level2
 from repro.flow.level3 import run_level3
 from repro.flow.level4 import run_level4
-from repro.flow.methodology import REFERENCE_CHANNELS
+from repro.flow.methodology import REFERENCE_CHANNELS  # noqa: F401  (compat re-export)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.api.session import Session
 
 #: Spec fields that shape the application graph and its stimuli; every
 #: stage that touches them is sensitive to these.
-WORKLOAD_FIELDS = ("identities", "poses", "size", "frames", "noise_sigma",
-                   "seed")
+WORKLOAD_FIELDS = ("workload", "params", "identities", "poses", "size",
+                   "frames", "noise_sigma", "seed")
 
 #: Refinement level -> stage name.
 LEVEL_STAGES = {1: "level1", 2: "level2", 3: "level3", 4: "level4"}
@@ -127,15 +123,13 @@ def stage_names() -> list[str]:
 
 @register
 class ReferenceStage(FlowStage):
-    """Golden trace of the C reference model over the probe frames."""
+    """Golden trace of the workload's reference model over the stimuli."""
 
     name = "reference"
 
-    def compute(self, ctx: "Session") -> Trace:
-        events: list = []
-        for frame in ctx.frames:
-            ctx.reference.recognize(frame, trace=events)
-        return Trace.from_reference_events("reference", events)
+    def compute(self, ctx: "Session"):
+        return ctx.workload.reference_trace(ctx.spec, ctx.environment,
+                                            ctx.frames)
 
 
 @register
@@ -152,15 +146,19 @@ class ProfileStage(FlowStage):
 
 @register
 class PartitionStage(FlowStage):
-    """The case study's designer partitions for the timed levels."""
+    """The workload's designer partitions for the timed levels."""
 
     name = "partition"
 
     def compute(self, ctx: "Session") -> dict:
-        return {
-            "timed": case_study_partition(ctx.graph),
-            "reconfigurable": case_study_partition(ctx.graph, with_fpga=True),
-        }
+        partitions = ctx.workload.partitions(ctx.graph)
+        missing = {"timed", "reconfigurable"} - set(partitions)
+        if missing:
+            raise RuntimeError(
+                f"workload {ctx.workload.name!r} partitions missing "
+                f"{sorted(missing)}"
+            )
+        return partitions
 
 
 @register
@@ -174,7 +172,7 @@ class Level1Stage(FlowStage):
         return run_level1(
             ctx.graph, ctx.stimuli(),
             reference_trace=ctx.value("reference"),
-            compare_channels=REFERENCE_CHANNELS,
+            compare_channels=list(ctx.workload.reference_channels),
         )
 
 
@@ -222,50 +220,32 @@ class Level3Stage(FlowStage):
 class Level4Stage(FlowStage):
     """RTL generation and formal verification of the FPGA modules.
 
-    Independent of the workload: the synthesised accelerators (ROOT,
-    DISTANCE_STEP) and their property plans are fixed by the case study,
-    so the (expensive) synthesis/BMC/PCC result is memoized process-wide
-    per ``run_pcc`` value and shared across sessions.  A session-level
+    Independent of the workload *parameters*: each workload's
+    synthesised accelerators and property plans are fixed by its
+    :meth:`~repro.workloads.base.Workload.verify_plan`, so the
+    (expensive) synthesis/BMC/PCC result is memoized process-wide per
+    ``(workload, run_pcc)`` and shared across sessions.  A session-level
     ``invalidate`` does not clear the memo; ``run("level4", force=True)``
     does, re-running the verification.
     """
 
     name = "level4"
-    sensitive_to = ("run_pcc",)
+    sensitive_to = ("workload", "run_pcc")
 
-    #: Datapath width of the synthesised accelerators.
-    WIDTH = 16
-
-    _memo: dict[bool, Any] = {}
+    _memo: dict[tuple[str, bool], Any] = {}
 
     def compute(self, ctx: "Session"):
-        run_pcc = ctx.spec.run_pcc
-        if run_pcc not in self._memo or ctx.forcing == self.name:
-            self._memo[run_pcc] = self._verify(run_pcc)
-        return self._memo[run_pcc]
+        key = (ctx.workload.name, ctx.spec.run_pcc)
+        if key not in self._memo or ctx.forcing == self.name:
+            self._memo[key] = self._verify(ctx)
+        return self._memo[key]
 
-    def _verify(self, run_pcc: bool):
-        width = self.WIDTH
-        max_value = (1 << (width - 1)) - 1
+    def _verify(self, ctx: "Session"):
+        plan = ctx.workload.verify_plan(ctx.spec)
         return run_level4(
-            functions={
-                "ROOT": root_function(width),
-                "DISTANCE_STEP": distance_step_function(),
-            },
-            reference_impls={
-                "ROOT": lambda n: isqrt(n),
-                "DISTANCE_STEP": lambda acc, a, b: distance_step_reference(
-                    acc, a, b, width
-                ),
-            },
-            test_inputs={
-                "ROOT": [{"n": v} for v in (0, 1, 2, 99, 1024, max_value)],
-                "DISTANCE_STEP": [
-                    {"acc": 0, "a": 200, "b": 55},
-                    {"acc": 123, "a": 7, "b": 250},
-                    {"acc": 500, "a": 0, "b": 0},
-                ],
-            },
-            width=width,
-            run_pcc=run_pcc,
+            functions=dict(plan.functions),
+            reference_impls=dict(plan.reference_impls),
+            test_inputs=dict(plan.test_inputs),
+            width=plan.width,
+            run_pcc=ctx.spec.run_pcc,
         )

@@ -1,18 +1,22 @@
 """Command-line driver: ``python -m repro <command>``.
 
 Exposes the flow as a tool a design team would actually run, built on
-the composable :mod:`repro.api` (sessions, stages, campaign specs):
+the composable :mod:`repro.api` (sessions, stages, campaign specs) and
+the pluggable :mod:`repro.workloads` registry:
 
-- ``topology``  — print the Figure-2 system model;
+- ``topology``  — print the selected workload's system model;
 - ``flow``      — run the complete four-level methodology and report;
 - ``campaign``  — run a :class:`~repro.api.spec.CampaignSpec` file
-  (single run or grid sweep);
+  (single run or grid sweep, optionally parallel with ``--jobs``);
+- ``workloads`` — list the registered workloads;
 - ``explore``   — the level-2 architecture exploration sweep;
 - ``verify``    — the level-1 LPV deadlock proof;
 - ``wave``      — synthesise the ROOT module, run it, dump a VCD trace.
 
-Commands that produce results accept ``--json`` to emit the
-schema-stable machine-readable document instead of prose.
+Every simulating command takes ``--workload`` (any registered name) and
+``--param key=value`` for workload-specific knobs.  Commands that
+produce results accept ``--json`` to emit the schema-stable
+machine-readable document instead of prose.
 """
 
 from __future__ import annotations
@@ -22,21 +26,40 @@ import json
 import sys
 from typing import Optional
 
-from repro.api import Campaign, CampaignSpec, Session
+from repro.api import Campaign, CampaignSpec, Session, get_workload, workload_names
+
+
+def _parse_param(text: str) -> tuple[str, object]:
+    key, sep, raw = text.partition("=")
+    if not sep or not key:
+        raise argparse.ArgumentTypeError(
+            f"expected key=value, got {text!r}")
+    try:
+        value = json.loads(raw)
+    except json.JSONDecodeError:
+        value = raw
+    return key, value
 
 
 def _add_workload_args(parser: argparse.ArgumentParser,
                        frames: bool = True) -> None:
     """Workload options; ``frames`` only where the command simulates."""
+    parser.add_argument("--workload", default="facerec",
+                        choices=workload_names(),
+                        help="registered workload to run (default: facerec)")
+    parser.add_argument("--param", action="append", default=[],
+                        type=_parse_param, metavar="KEY=VALUE",
+                        help="workload-specific parameter (repeatable); "
+                             "values parse as JSON, falling back to string")
     parser.add_argument("--identities", type=int, default=10,
-                        help="database identities (paper: 20)")
+                        help="[facerec] database identities (paper: 20)")
     parser.add_argument("--poses", type=int, default=2,
-                        help="poses per identity (paper: multiple)")
+                        help="[facerec] poses per identity (paper: multiple)")
     parser.add_argument("--size", type=int, default=48,
-                        help="frame side in pixels (even, >= 16)")
+                        help="[facerec] frame side in pixels (even, >= 16)")
     if frames:
         parser.add_argument("--frames", type=int, default=3,
-                            help="probe frames to process")
+                            help="stimuli (probe frames / blocks) to process")
 
 
 def _add_json_arg(parser: argparse.ArgumentParser) -> None:
@@ -46,9 +69,11 @@ def _add_json_arg(parser: argparse.ArgumentParser) -> None:
 
 def _spec(args, **extra) -> CampaignSpec:
     fields = {
+        "workload": args.workload,
         "identities": args.identities,
         "poses": args.poses,
         "size": args.size,
+        "params": dict(args.param),
     }
     if hasattr(args, "frames"):
         fields["frames"] = args.frames
@@ -87,11 +112,32 @@ def cmd_campaign(args) -> int:
         payload = payload.get("spec", {})
     spec = CampaignSpec.from_dict(payload)
     if sweep_grid:
-        result = Campaign.sweep(spec, sweep_grid)
+        result = Campaign.sweep(spec, sweep_grid, jobs=args.jobs)
+    elif args.jobs > 1:
+        raise SystemExit("--jobs requires a sweep grid in the spec file")
     else:
         result = Campaign(spec).run()
     _emit(args, result.to_dict(), result.describe())
     return 0 if result.passed else 1
+
+
+def cmd_workloads(args) -> int:
+    rows = []
+    for name in workload_names():
+        workload = get_workload(name)
+        rows.append({
+            "name": name,
+            "description": workload.description,
+            "source_task": workload.source_task,
+            "min_accuracy": workload.min_accuracy,
+        })
+    document = {"schema": "repro.workloads/v1", "workloads": rows}
+    lines = [f"{len(rows)} registered workloads:"]
+    for row in rows:
+        lines.append(f"  {row['name']:<12} {row['description']} "
+                     f"(accuracy threshold {row['min_accuracy']:.0%})")
+    _emit(args, document, "\n".join(lines))
+    return 0
 
 
 def cmd_explore(args) -> int:
@@ -161,8 +207,16 @@ def build_parser() -> argparse.ArgumentParser:
         "spec_file",
         help="JSON file: either a campaign spec document, or "
              '{"spec": {...}, "sweep": {field: [values, ...]}}')
+    p_campaign.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="fan sweep grid points out over N worker processes")
     _add_json_arg(p_campaign)
     p_campaign.set_defaults(func=cmd_campaign)
+
+    p_workloads = sub.add_parser("workloads",
+                                 help="list the registered workloads")
+    _add_json_arg(p_workloads)
+    p_workloads.set_defaults(func=cmd_workloads)
 
     p_explore = sub.add_parser("explore", help="level-2 architecture sweep")
     _add_workload_args(p_explore)

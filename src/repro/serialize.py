@@ -13,7 +13,8 @@ meaning (adding fields is backwards compatible).
 
 from __future__ import annotations
 
-from typing import Any
+import json
+from typing import Any, Iterable
 
 try:  # numpy is a hard dependency of the case study, but keep this generic
     import numpy as _np
@@ -48,3 +49,37 @@ def json_safe(value: Any) -> Any:
     if hasattr(value, "to_dict"):
         return value.to_dict()
     return repr(value)
+
+
+#: Keys whose values are host-timing measurements or execution metadata
+#: (how a result was computed), not flow results.  Everything else in a
+#: result document is a deterministic function of the spec, which is
+#: what determinism and serial-vs-parallel equality are asserted on.
+VOLATILE_KEYS = frozenset({"wall_seconds", "sim_speed_ratio", "jobs",
+                           "from_cache"})
+
+
+def canonical_document(document: Any,
+                       volatile: Iterable[str] = VOLATILE_KEYS) -> Any:
+    """``document`` with every volatile (wall-clock) key removed.
+
+    Two runs of the same spec produce byte-identical
+    :func:`canonical_json` of their result documents; only the stripped
+    keys may differ between runs.
+    """
+    volatile = frozenset(volatile)
+
+    def strip(value: Any) -> Any:
+        if isinstance(value, dict):
+            return {k: strip(v) for k, v in value.items() if k not in volatile}
+        if isinstance(value, list):
+            return [strip(v) for v in value]
+        return value
+
+    return strip(json_safe(document))
+
+
+def canonical_json(document: Any,
+                   volatile: Iterable[str] = VOLATILE_KEYS) -> str:
+    """Deterministic JSON encoding of :func:`canonical_document`."""
+    return json.dumps(canonical_document(document, volatile), sort_keys=True)

@@ -29,12 +29,50 @@ class TestSpecRoundTrip:
         assert isinstance(recovered.levels, tuple)
 
     def test_schema_tag(self):
-        assert SMALL.to_dict()["schema"] == "repro.campaign_spec/v1"
+        assert SMALL.to_dict()["schema"] == "repro.campaign_spec/v2"
 
     def test_rejects_wrong_schema(self):
         payload = dict(SMALL.to_dict(), schema="repro.campaign_spec/v999")
         with pytest.raises(ValueError, match="unsupported spec schema"):
             CampaignSpec.from_dict(payload)
+
+    def test_accepts_v1_documents(self):
+        """Pre-workload spec files keep loading, read as facerec."""
+        payload = dict(SMALL.to_dict(), schema="repro.campaign_spec/v1")
+        del payload["workload"]
+        del payload["params"]
+        spec = CampaignSpec.from_dict(payload)
+        assert spec == SMALL
+        assert spec.workload == "facerec"
+
+    def test_v1_documents_cannot_carry_v2_fields(self):
+        payload = dict(SMALL.to_dict(), schema="repro.campaign_spec/v1")
+        with pytest.raises(ValueError, match="v1 spec documents"):
+            CampaignSpec.from_dict(payload)
+
+    def test_workload_round_trip(self):
+        spec = CampaignSpec(name="e", workload="edgescan", frames=1,
+                            params={"shapes": 2, "scales": 1, "size": 32})
+        recovered = CampaignSpec.from_dict(
+            json.loads(json.dumps(spec.to_dict())))
+        assert recovered == spec
+        assert recovered.params == {"scales": 1, "shapes": 2, "size": 32}
+
+    def test_unknown_workload_lists_registered(self):
+        with pytest.raises(KeyError, match="edgescan"):
+            CampaignSpec(workload="holographic")
+
+    def test_workload_rejects_unknown_params(self):
+        with pytest.raises(ValueError, match="unknown params"):
+            CampaignSpec(workload="edgescan", params={"turbo": 1})
+
+    def test_spec_stays_hashable(self):
+        """Frozen specs are values: usable as dict/set keys even though
+        params is a dict."""
+        a = CampaignSpec(workload="edgescan", params={"shapes": 2})
+        b = CampaignSpec(workload="edgescan", params={"shapes": 2})
+        assert a == b and hash(a) == hash(b)
+        assert len({a, b, SMALL}) == 2
 
     def test_rejects_unknown_fields(self):
         payload = dict(SMALL.to_dict(), turbo=True)
@@ -77,6 +115,14 @@ class TestCampaignRun:
     def test_describe_mentions_verdict(self):
         outcome = Campaign(SMALL.replace(levels=(1,))).run()
         assert "PASSED" in outcome.describe()
+
+    def test_accuracy_rides_on_level1_gate(self):
+        outcome = Campaign(SMALL.replace(levels=(1,))).run()
+        assert outcome.accuracy == 1.0
+        assert outcome.to_dict()["accuracy"] == 1.0
+        # Levels without a level-1 run don't score the workload.
+        outcome = Campaign(SMALL.replace(levels=(4,))).run()
+        assert outcome.accuracy is None
 
 
 class TestSweep:
@@ -124,3 +170,66 @@ class TestSweep:
         assert document["schema"] == "repro.campaign_sweep/v1"
         assert document["grid"] == {"seed": [1, 2]}
         assert len(document["runs"]) == 2
+
+
+class TestGridOrder:
+    """Cartesian-product ordering is part of the sweep contract."""
+
+    GRID = {"cpu": ["ARM7TDMI", "ARM9TDMI"], "seed": [1, 2, 3]}
+
+    def test_last_key_varies_fastest(self):
+        specs = Campaign.sweep_specs(SMALL, self.GRID)
+        points = [(s.cpu, s.seed) for s in specs]
+        assert points == [
+            ("ARM7TDMI", 1), ("ARM7TDMI", 2), ("ARM7TDMI", 3),
+            ("ARM9TDMI", 1), ("ARM9TDMI", 2), ("ARM9TDMI", 3),
+        ]
+
+    def test_point_names_match_spec_order(self):
+        specs = Campaign.sweep_specs(SMALL, {"seed": [2, 1]})
+        assert [s.name for s in specs] == ["t[seed=2]", "t[seed=1]"]
+
+    def test_serial_and_parallel_order_identical(self):
+        base = SMALL.replace(levels=(1,))
+        grid = {"seed": [3, 1, 2]}
+        serial = Campaign.sweep(base, grid)
+        parallel = Campaign.sweep(base, grid, jobs=2)
+        names = [run["spec"]["name"] for run in serial.runs()]
+        assert names == ["t[seed=3]", "t[seed=1]", "t[seed=2]"]
+        assert [run["spec"]["name"] for run in parallel.runs()] == names
+
+
+class TestParallelSweep:
+    def test_matches_serial_results(self):
+        """jobs=N must produce exactly the serial results (canonically:
+        everything except wall-clock measurements is byte-identical)."""
+        from repro.serialize import canonical_json
+
+        base = SMALL.replace(levels=(1, 2))
+        grid = {"cpu": ["ARM7TDMI", "ARM9TDMI"]}
+        serial = Campaign.sweep(base, grid)
+        parallel = Campaign.sweep(base, grid, jobs=2)
+        assert canonical_json(serial.to_dict()) == \
+            canonical_json(parallel.to_dict())
+        assert parallel.passed
+        assert parallel.jobs == 2
+
+    def test_parallel_holds_payloads_not_outcomes(self):
+        sweep = Campaign.sweep(SMALL.replace(levels=(1,)),
+                               {"seed": [1, 2]}, jobs=2)
+        assert sweep.outcomes == []
+        assert len(sweep.payloads) == 2
+        with pytest.raises(RuntimeError, match="ranked_runs"):
+            sweep.ranked()
+
+    def test_ranked_runs_on_payloads(self):
+        sweep = Campaign.sweep(SMALL.replace(levels=(1, 2)),
+                               {"cpu": ["ARM7TDMI", "ARM9TDMI"]}, jobs=2)
+        ranked = sweep.ranked_runs()
+        latencies = [run["stages"]["level2"]["value"]["metrics"]
+                     ["frame_latency_ps"] for run in ranked]
+        assert latencies == sorted(latencies)
+
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(ValueError, match="jobs"):
+            Campaign.sweep(SMALL, {"seed": [1]}, jobs=0)

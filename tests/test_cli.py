@@ -17,11 +17,20 @@ class TestParser:
 
     def test_known_commands(self):
         parser = build_parser()
-        for command in ("topology", "flow", "explore", "verify", "wave"):
+        for command in ("topology", "flow", "explore", "verify", "wave",
+                        "workloads"):
             args = parser.parse_args([command])
             assert callable(args.func)
         args = parser.parse_args(["campaign", "spec.json"])
         assert callable(args.func)
+
+    def test_unknown_workload_lists_registered(self, capsys):
+        """A bad --workload errors out listing every registered name."""
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["flow", "--workload", "holograms"])
+        err = capsys.readouterr().err
+        for name in ("facerec", "edgescan", "blockcipher"):
+            assert name in err
 
     def test_frames_only_where_simulated(self):
         """topology/verify don't simulate frames: the arg is not offered."""
@@ -81,11 +90,38 @@ class TestCommands:
     def test_flow_json(self, capsys):
         assert main(["flow", *SIM_WORKLOAD, "--json"]) == 0
         document = json.loads(capsys.readouterr().out)
-        assert document["schema"] == "repro.flow_report/v1"
+        assert document["schema"] == "repro.flow_report/v2"
         assert document["passed"] is True
         assert set(document["levels"]) == {"level1", "level2", "level3",
                                            "level4"}
+        assert document["workload"]["name"] == "facerec"
         assert document["workload"]["frames"] == 1
+
+    def test_workloads_listing(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in ("facerec", "edgescan", "blockcipher"):
+            assert name in out
+
+    def test_workloads_json(self, capsys):
+        assert main(["workloads", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema"] == "repro.workloads/v1"
+        names = [row["name"] for row in document["workloads"]]
+        assert {"facerec", "edgescan", "blockcipher"} <= set(names)
+
+    def test_flow_selects_workload_by_name(self, capsys):
+        assert main(["flow", "--workload", "blockcipher", "--frames", "1",
+                     "--param", "block_words=8", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["workload"]["name"] == "blockcipher"
+        assert document["workload"]["block_words"] == 8
+        assert document["passed"] is True
+
+    def test_topology_other_workload(self, capsys):
+        assert main(["topology", "--workload", "blockcipher"]) == 0
+        out = capsys.readouterr().out
+        assert "blockcipher" in out and "12 modules" in out
 
 
 class TestCampaignCommand:
@@ -133,3 +169,48 @@ class TestCampaignCommand:
         spec = dict(self.SPEC, bogus=1)
         with pytest.raises(ValueError, match="unknown spec fields"):
             main(["campaign", self._write(tmp_path, spec)])
+
+    def test_accepts_v1_spec_file(self, tmp_path, capsys):
+        """Spec files written before the workload field keep working."""
+        spec = dict(self.SPEC, levels=[1])
+        assert spec["schema"] == "repro.campaign_spec/v1"
+        assert main(["campaign", self._write(tmp_path, spec), "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["spec"]["workload"] == "facerec"
+
+    def test_unknown_workload_in_spec_lists_registered(self, tmp_path):
+        spec = dict(self.SPEC, schema="repro.campaign_spec/v2",
+                    workload="holograms")
+        with pytest.raises(KeyError, match="facerec"):
+            main(["campaign", self._write(tmp_path, spec)])
+
+    def test_sweep_with_jobs(self, tmp_path, capsys):
+        payload = {"spec": dict(self.SPEC, levels=[1]),
+                   "sweep": {"seed": [1, 2]}}
+        assert main(["campaign", self._write(tmp_path, payload),
+                     "--jobs", "2", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema"] == "repro.campaign_sweep/v1"
+        assert document["jobs"] == 2
+        assert len(document["runs"]) == 2
+        names = [run["spec"]["name"] for run in document["runs"]]
+        assert names == ["cli-test[seed=1]", "cli-test[seed=2]"]
+
+    def test_jobs_without_sweep_rejected(self, tmp_path):
+        spec = dict(self.SPEC, levels=[1])
+        with pytest.raises(SystemExit, match="sweep"):
+            main(["campaign", self._write(tmp_path, spec), "--jobs", "2"])
+
+    def test_non_facerec_workload_spec(self, tmp_path, capsys):
+        spec = {
+            "schema": "repro.campaign_spec/v2",
+            "name": "cipher-cli",
+            "workload": "blockcipher",
+            "frames": 2,
+            "levels": [1, 2],
+            "params": {"block_words": 8},
+        }
+        assert main(["campaign", self._write(tmp_path, spec), "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["passed"] is True
+        assert document["spec"]["workload"] == "blockcipher"
