@@ -32,6 +32,7 @@ from repro.api.campaign import (
     Campaign,
     CampaignOutcome,
     LEVEL_GATES,
+    SweepPointError,
     SweepResult,
 )
 from repro.api.session import Session
@@ -68,6 +69,7 @@ __all__ = [
     "Session",
     "Stage",
     "StageResult",
+    "SweepPointError",
     "SweepResult",
     "WORKLOAD_FIELDS",
     "Workload",

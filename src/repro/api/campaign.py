@@ -101,15 +101,41 @@ def _available_cpus() -> int:
         return os.cpu_count() or 1
 
 
+class SweepPointError(RuntimeError):
+    """One sweep grid point failed; the message names the point.
+
+    Raised instead of letting a worker's bare traceback bubble out of
+    the pool: the message carries the failing spec's name (which embeds
+    the grid-point label), workload and parameters, plus the original
+    error.  Built as a single string so it survives pickling across the
+    process boundary intact.
+    """
+
+    @classmethod
+    def wrap(cls, spec: CampaignSpec, exc: Exception) -> "SweepPointError":
+        return cls(
+            f"sweep point {spec.name!r} failed "
+            f"(workload={spec.workload!r}, params={dict(spec.params)!r}, "
+            f"cpu={spec.cpu!r}, frames={spec.frames}, "
+            f"levels={list(spec.levels)}): "
+            f"{type(exc).__name__}: {exc}"
+        )
+
+
 def _run_spec_payload(spec_doc: dict) -> dict:
     """Pool worker: run one spec document, return the outcome payload.
 
     Module-level (picklable by name) on purpose; live outcomes carry
     unpicklable artifacts (task lambdas, numpy closures), so only the
-    serialized form crosses the process boundary.
+    serialized form crosses the process boundary.  Failures are wrapped
+    in :class:`SweepPointError` so the parent sees which grid point (and
+    which parameters) died, not just a bare pool traceback.
     """
     spec = CampaignSpec.from_dict(spec_doc)
-    return Campaign(spec).run().to_dict()
+    try:
+        return Campaign(spec).run().to_dict()
+    except Exception as exc:
+        raise SweepPointError.wrap(spec, exc) from exc
 
 
 class Campaign:
@@ -226,7 +252,10 @@ class Campaign:
             else:
                 session = session.with_spec(
                     name=spec.name, **{k: getattr(spec, k) for k in grid})
-            outcomes.append(cls(session.spec).run(session=session))
+            try:
+                outcomes.append(cls(session.spec).run(session=session))
+            except Exception as exc:
+                raise SweepPointError.wrap(session.spec, exc) from exc
         return SweepResult(base=base, grid=grid_doc, outcomes=outcomes)
 
 

@@ -169,10 +169,15 @@ class Level1Stage(FlowStage):
     requires = ("reference",)
 
     def compute(self, ctx: "Session"):
+        # Levels 1-2 contain no SWIR execution: the engine selector is
+        # recorded but their results are engine-independent, so they are
+        # deliberately NOT sensitive_to "engine" (an engine A/B sweep
+        # reuses the cached simulations).
         return run_level1(
             ctx.graph, ctx.stimuli(),
             reference_trace=ctx.value("reference"),
             compare_channels=list(ctx.workload.reference_channels),
+            engine=ctx.spec.engine,
         )
 
 
@@ -193,6 +198,7 @@ class Level2Stage(FlowStage):
             profile=ctx.value("profile"),
             level1_trace=ctx.value("level1").trace,
             deadline_ps=ctx.spec.deadline_ps,
+            engine=ctx.spec.engine,
         )
 
 
@@ -202,7 +208,7 @@ class Level3Stage(FlowStage):
 
     name = "level3"
     requires = ("level1", "profile", "partition")
-    sensitive_to = WORKLOAD_FIELDS + ("cpu", "capacity_gates")
+    sensitive_to = WORKLOAD_FIELDS + ("cpu", "capacity_gates", "engine")
 
     def compute(self, ctx: "Session"):
         return run_level3(
@@ -213,6 +219,7 @@ class Level3Stage(FlowStage):
             cpu=ctx.cpu,
             profile=ctx.value("profile"),
             reference_trace=ctx.value("level1").trace,
+            engine=ctx.spec.engine,
         )
 
 

@@ -13,10 +13,12 @@ the pluggable :mod:`repro.workloads` registry:
 - ``verify``    — the level-1 LPV deadlock proof;
 - ``wave``      — synthesise the ROOT module, run it, dump a VCD trace.
 
-Every simulating command takes ``--workload`` (any registered name) and
-``--param key=value`` for workload-specific knobs.  Commands that
-produce results accept ``--json`` to emit the schema-stable
-machine-readable document instead of prose.
+Every simulating command takes ``--workload`` (any registered name),
+``--param key=value`` for workload-specific knobs and ``--engine``
+(``ast`` | ``compiled``) to pick the SWIR execution engine — results
+are byte-identical either way.  Commands that produce results accept
+``--json`` to emit the schema-stable machine-readable document instead
+of prose.
 """
 
 from __future__ import annotations
@@ -27,6 +29,7 @@ import sys
 from typing import Optional
 
 from repro.api import Campaign, CampaignSpec, Session, get_workload, workload_names
+from repro.swir import DEFAULT_ENGINE, ENGINES
 
 
 def _parse_param(text: str) -> tuple[str, object]:
@@ -51,6 +54,9 @@ def _add_workload_args(parser: argparse.ArgumentParser,
                         type=_parse_param, metavar="KEY=VALUE",
                         help="workload-specific parameter (repeatable); "
                              "values parse as JSON, falling back to string")
+    parser.add_argument("--engine", default=DEFAULT_ENGINE, choices=ENGINES,
+                        help="SWIR execution engine (A/B-identical results; "
+                             f"default: {DEFAULT_ENGINE})")
     parser.add_argument("--identities", type=int, default=10,
                         help="[facerec] database identities (paper: 20)")
     parser.add_argument("--poses", type=int, default=2,
@@ -74,6 +80,7 @@ def _spec(args, **extra) -> CampaignSpec:
         "poses": args.poses,
         "size": args.size,
         "params": dict(args.param),
+        "engine": args.engine,
     }
     if hasattr(args, "frames"):
         fields["frames"] = args.frames

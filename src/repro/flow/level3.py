@@ -21,8 +21,9 @@ from repro.platform.cpu import CpuModel, ARM7TDMI
 from repro.platform.partition import Partition, transformation1
 from repro.platform.profiler import Profile, profile_graph
 from repro.platform.taskgraph import AppGraph
-from repro.swir.ast import BinOp, Call, Const, Program, Var
+from repro.swir.ast import Assign, BinOp, Call, Const, FpgaCall, Program, Var
 from repro.swir.builder import FunctionBuilder, ProgramBuilder
+from repro.swir.engine import DEFAULT_ENGINE, create_engine, validate_engine
 from repro.swir.instrument import instrument_reconfiguration
 from repro.verify.symbc import ConfigInfo, SymbcAnalyzer, SymbcVerdict
 
@@ -84,6 +85,14 @@ class Level3Result:
     symbc: SymbcVerdict
     consistency_mismatches: list[TraceMismatch] = field(default_factory=list)
     consistency_checked: bool = False
+    #: SWIR engine the dynamic shadow execution ran under, plus its FPGA
+    #: journal — the run-time counterpart of SymbC's static certificate.
+    #: Deliberately not serialized: `to_dict` documents are engine-
+    #: independent (byte-identical for "ast" and "compiled" by contract).
+    engine: str = DEFAULT_ENGINE
+    dynamic_journal: list = field(default_factory=list)
+    dynamic_consistency_violations: list[str] = field(default_factory=list)
+    dynamic_checked: bool = False
 
     @property
     def consistent_with_level2(self) -> bool:
@@ -146,6 +155,7 @@ def run_level3(
     reference_trace: Optional[Trace] = None,
     skip_instrumentation: Optional[set[str]] = None,
     bitstream_model: Optional[BitstreamModel] = None,
+    engine: str = DEFAULT_ENGINE,
     **arch_kwargs,
 ) -> Level3Result:
     """Execute the full level-3 activity set.
@@ -153,7 +163,15 @@ def run_level3(
     Without explicit ``contexts``, the context mapper picks the
     minimum-download feasible partition of the FPGA tasks for the
     per-frame schedule.
+
+    ``engine`` selects the SWIR execution engine (``"ast"`` or
+    ``"compiled"``) for the dynamic shadow run of the instrumented SW
+    program: the whole frame loop is executed concretely and its FPGA
+    call journal recorded, the run-time complement of SymbC's static
+    consistency proof.  Both engines produce identical results; the
+    selector exists for A/B equivalence testing.
     """
+    validate_engine(engine)
     if not partition.fpga_tasks:
         raise ValueError("level 3 requires a partition with FPGA tasks")
     stimuli = {k: list(v) for k, v in stimuli.items()}
@@ -186,6 +204,7 @@ def run_level3(
         sw_program, context_map = _rebuild_with_owner(graph, partition, owner,
                                                       skip_instrumentation)
     symbc = SymbcAnalyzer(sw_program, config_info).check()
+    dynamic = _dynamic_shadow_run(sw_program, context_map, stimuli, engine)
 
     annotator = annotator or TimingAnnotator(cpu)
     plan = FpgaPlan(
@@ -205,6 +224,10 @@ def run_level3(
         metrics=metrics,
         sw_program=sw_program,
         symbc=symbc,
+        engine=engine,
+        dynamic_journal=dynamic.fpga_journal,
+        dynamic_consistency_violations=dynamic.consistency_violations,
+        dynamic_checked=True,
     )
     if reference_trace is not None:
         result.consistency_mismatches = compare_traces(
@@ -212,6 +235,49 @@ def run_level3(
         )
         result.consistency_checked = True
     return result
+
+
+def task_call_sites(program: Program):
+    """Yield ``(statement, called function name)`` for every task call.
+
+    The programs :func:`build_sw_program` emits invoke tasks in exactly
+    two shapes — an :class:`FpgaCall` statement, or an :class:`Assign`
+    whose expression is a :class:`~repro.swir.ast.Call`.  This is the
+    single place that shape assumption lives; the shadow run, the
+    engine-equivalence tests and the engine microbench all stub or
+    replace call sites through it.
+    """
+    for stmt in program.walk():
+        if isinstance(stmt, FpgaCall):
+            yield stmt, stmt.func
+        elif isinstance(stmt, Assign) and isinstance(stmt.expr, Call):
+            yield stmt, stmt.expr.func
+
+
+def stub_task_externals(program: Program) -> dict:
+    """Zero-returning host stubs for every task the program invokes."""
+    return {name: (lambda *args: 0) for __, name in task_call_sites(program)}
+
+
+def _dynamic_shadow_run(sw_program: Program, context_map: dict[str, str],
+                        stimuli: dict, engine: str):
+    """Run the instrumented frame loop concretely under ``engine``.
+
+    Task bodies are stubbed (the architecture model simulates the real
+    data path); what matters here is the dynamic reconfiguration
+    journal: which FPGA function was invoked under which loaded context,
+    over the exact per-frame schedule — the observable shadow of the
+    property SymbC proves statically.
+    """
+    frames = len(next(iter(stimuli.values())))
+    # Generous step budget: the loop executes ~(tasks + downloads) + 2
+    # statements per frame, never less than the interpreter default.
+    max_steps = max(200_000,
+                    (frames + 1) * (sw_program.statement_count() + 4) * 2)
+    executor = create_engine(sw_program, engine=engine,
+                             externals=stub_task_externals(sw_program),
+                             context_map=context_map, max_steps=max_steps)
+    return executor.run([frames])
 
 
 def _rebuild_with_owner(graph, partition, owner, skip_instrumentation):

@@ -9,6 +9,10 @@ is our stand-in for C: a small structured imperative IR with
 - :mod:`~repro.swir.cfg` — control-flow graph construction;
 - :mod:`~repro.swir.interp` — a concrete interpreter with coverage and
   memory-initialisation tracking (the Laerte++ substrate);
+- :mod:`~repro.swir.engine` — the compiled execution engine: the same
+  programs flattened to flat instruction lists and run by a dispatch
+  loop, several times faster with bit-identical results (select with
+  ``create_engine(program, engine="ast"|"compiled")``);
 - :mod:`~repro.swir.instrument` — automatic insertion of reconfiguration
   calls before FPGA function calls (the step the paper performs by hand,
   plus fault injection for the SymbC experiments).
@@ -32,6 +36,14 @@ from repro.swir.ast import (
 )
 from repro.swir.builder import FunctionBuilder, ProgramBuilder
 from repro.swir.cfg import BasicBlock, Cfg, build_cfg
+from repro.swir.engine import (
+    DEFAULT_ENGINE,
+    ENGINES,
+    CompiledEngine,
+    CompiledProgram,
+    compile_program,
+    create_engine,
+)
 from repro.swir.interp import CoverageData, ExecutionResult, Interpreter, InterpError
 from repro.swir.instrument import instrument_reconfiguration, strip_reconfiguration
 
@@ -59,6 +71,12 @@ __all__ = [
     "ExecutionResult",
     "Interpreter",
     "InterpError",
+    "DEFAULT_ENGINE",
+    "ENGINES",
+    "CompiledEngine",
+    "CompiledProgram",
+    "compile_program",
+    "create_engine",
     "instrument_reconfiguration",
     "strip_reconfiguration",
 ]

@@ -98,6 +98,26 @@ class ExecutionResult:
     consistency_violations: list[str]
     steps: int
 
+    def fingerprint(self) -> tuple:
+        """Every observable of the run as one comparable tuple.
+
+        The single definition of the engines' bit-identical contract:
+        the differential fuzz suite and the SWIR-INTERP microbench both
+        compare executions through this, so the oracle cannot drift
+        between them.  Extend it whenever ExecutionResult gains a field.
+        """
+        return (
+            self.returned,
+            self.env,
+            sorted(self.coverage.statements_hit),
+            sorted(self.coverage.branches_hit),
+            sorted(self.coverage.conditions_hit),
+            self.uninitialized_reads,
+            self.fpga_journal,
+            self.consistency_violations,
+            self.steps,
+        )
+
 
 class Interpreter:
     """Executes a program on concrete integer inputs.

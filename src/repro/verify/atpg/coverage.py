@@ -11,6 +11,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.swir.ast import BinOp, Expr, If, Program, UnOp, While
+from repro.swir.engine import CompiledEngine
 from repro.swir.interp import CoverageData, Interpreter, _cond_key
 
 
@@ -100,7 +101,7 @@ class CoverageReport:
 
 
 def measure_coverage(
-    interpreter: Interpreter,
+    interpreter: Interpreter | CompiledEngine,
     vectors: list[list[int]],
     totals: Optional[CoverageTotals] = None,
 ) -> CoverageReport:

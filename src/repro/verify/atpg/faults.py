@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.swir.ast import Assign, FpgaCall, Program
+from repro.swir.engine import CompiledEngine
 from repro.swir.interp import Fault, Interpreter
 
 
@@ -69,7 +70,7 @@ def enumerate_faults(program: Program, bit_width: int = 8) -> list[BitFault]:
 
 
 def simulate_fault(
-    interpreter: Interpreter,
+    interpreter: Interpreter | CompiledEngine,
     fault: BitFault,
     vectors: list[list[int]],
     golden: Optional[list[Optional[int]]] = None,
@@ -94,7 +95,7 @@ def simulate_fault(
 
 
 def fault_coverage(
-    interpreter: Interpreter,
+    interpreter: Interpreter | CompiledEngine,
     faults: list[BitFault],
     vectors: list[list[int]],
 ) -> tuple[list[FaultSimResult], float]:

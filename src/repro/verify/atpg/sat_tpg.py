@@ -30,7 +30,7 @@ from repro.swir.ast import (
     Var,
     While,
 )
-from repro.swir.interp import Interpreter
+from repro.swir.engine import DEFAULT_ENGINE, create_engine
 from repro.verify.cnf import BitVector, Cnf
 from repro.verify.sat import SatResult
 
@@ -61,6 +61,7 @@ class SatTpg:
         max_loop_unroll: int = 8,
         max_expr_nodes: int = 4_000,
         max_conflicts: int = 200_000,
+        engine: str = DEFAULT_ENGINE,
     ):
         if width < 2:
             raise SatTpgError("width must be >= 2")
@@ -71,6 +72,8 @@ class SatTpg:
         self.max_expr_nodes = max_expr_nodes
         self.max_conflicts = max_conflicts
         self.params = list(program.main.params)
+        #: concolic-validation executor (compiled once, reused per vector)
+        self._validator = create_engine(program, engine=engine)
 
     # -- public -------------------------------------------------------------------
 
@@ -309,7 +312,7 @@ class SatTpg:
 
     def _validate(self, vector: list[int], sid: int, outcome: bool) -> bool:
         try:
-            result = Interpreter(self.program).run(list(vector))
+            result = self._validator.run(list(vector))
         except Exception:
             return False
         return (sid, outcome) in result.coverage.branches_hit

@@ -14,6 +14,7 @@ Variables are positive integers; literals are signed integers
 from __future__ import annotations
 
 import enum
+import heapq
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
@@ -50,6 +51,13 @@ class SatSolver:
         self._watches: dict[int, list[list[int]]] = {}
         self._activity: dict[int, float] = {}
         self._var_inc = 1.0
+        #: lazy VSIDS order heap of (-activity, var); may hold stale
+        #: entries for assigned vars, skipped at pick time.  Every
+        #: unassigned var always has an entry carrying its current
+        #: activity, so picks are O(log n) instead of a full var scan
+        #: while reproducing the original order exactly (max activity,
+        #: lowest var on ties).
+        self._order: list[tuple[float, int]] = []
 
     # -- construction ----------------------------------------------------------
 
@@ -173,7 +181,10 @@ class SatSolver:
         return learned, levels[0]
 
     def _bump(self, var: int) -> None:
-        self._activity[var] = self._activity.get(var, 0.0) + self._var_inc
+        activity = self._activity.get(var, 0.0) + self._var_inc
+        self._activity[var] = activity
+        if var not in self._assign:
+            heapq.heappush(self._order, (-activity, var))
 
     def _decay(self) -> None:
         self._var_inc /= 0.95
@@ -181,8 +192,19 @@ class SatSolver:
             for var in self._activity:
                 self._activity[var] *= 1e-100
             self._var_inc *= 1e-100
+            self._rebuild_order()  # every heap key just went stale
+
+    def _rebuild_order(self) -> None:
+        activity = self._activity
+        assign = self._assign
+        self._order = [(-activity.get(var, 0.0), var)
+                       for var in range(1, self.num_vars + 1)
+                       if var not in assign]
+        heapq.heapify(self._order)
 
     def _backjump(self, level: int) -> None:
+        order = self._order
+        activity = self._activity
         while self._trail_lim and len(self._trail_lim) > level:
             mark = self._trail_lim.pop()
             while len(self._trail) > mark:
@@ -191,19 +213,17 @@ class SatSolver:
                 del self._assign[var]
                 del self._level[var]
                 del self._reason[var]
+                heapq.heappush(order, (-activity.get(var, 0.0), var))
 
     def _pick_branch(self) -> Optional[int]:
-        best_var = None
-        best_act = -1.0
-        for var in range(1, self.num_vars + 1):
-            if var not in self._assign:
-                act = self._activity.get(var, 0.0)
-                if act > best_act:
-                    best_act = act
-                    best_var = var
-        if best_var is None:
-            return None
-        return -best_var  # negative polarity first: good for ATPG encodings
+        order = self._order
+        assign = self._assign
+        while order:
+            __, var = heapq.heappop(order)
+            if var not in assign:
+                # negative polarity first: good for ATPG encodings
+                return -var
+        return None
 
     # -- main loop -----------------------------------------------------------------------------
 
@@ -237,6 +257,7 @@ class SatSolver:
         conflict, head = self._propagate(head)
         if conflict is not None:
             return SatResult.UNSAT
+        self._rebuild_order()
 
         restart_limit = 100
         conflicts_since_restart = 0

@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.api import Campaign, CampaignSpec, SweepResult
+from repro.api import Campaign, CampaignSpec, SweepPointError, SweepResult
 
 SMALL = CampaignSpec(name="t", identities=2, poses=1, size=32, frames=1)
 
@@ -233,3 +233,80 @@ class TestParallelSweep:
     def test_rejects_bad_jobs(self):
         with pytest.raises(ValueError, match="jobs"):
             Campaign.sweep(SMALL, {"seed": [1]}, jobs=0)
+
+
+class TestEngineField:
+    def test_default_engine_not_serialized(self):
+        """Default-engine documents are byte-identical to pre-engine ones."""
+        assert "engine" not in CampaignSpec().to_dict()
+
+    def test_non_default_engine_round_trips(self):
+        spec = SMALL.replace(engine="ast")
+        payload = spec.to_dict()
+        assert payload["engine"] == "ast"
+        assert CampaignSpec.from_dict(json.loads(json.dumps(payload))) == spec
+
+    def test_documents_without_engine_default_compiled(self):
+        assert CampaignSpec.from_dict(SMALL.to_dict()).engine == "compiled"
+
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            SMALL.replace(engine="jit")
+
+    def test_v1_documents_cannot_carry_engine(self):
+        payload = dict(SMALL.to_dict(), schema="repro.campaign_spec/v1",
+                       engine="ast")
+        del payload["workload"]
+        del payload["params"]
+        with pytest.raises(ValueError, match="v1 spec documents"):
+            CampaignSpec.from_dict(payload)
+
+    def test_engine_ab_outcomes_identical(self):
+        """The A/B contract from the campaign layer: same documents."""
+        from repro.serialize import canonical_json
+
+        spec = SMALL.replace(levels=(1, 3))
+        runs = {
+            engine: Campaign(spec.replace(engine=engine)).run().to_dict()
+            for engine in ("ast", "compiled")
+        }
+        # The spec documents differ only in the engine field itself.
+        for engine, payload in runs.items():
+            payload["spec"].pop("engine", None)
+            for stage in payload["stages"].values():
+                assert "engine" not in stage["value"].get("spec", {})
+        assert canonical_json(runs["ast"]) == canonical_json(runs["compiled"])
+
+    def test_level3_dynamic_journal_recorded(self):
+        outcome = Campaign(SMALL.replace(levels=(1, 3))).run()
+        level3 = outcome.results["level3"].value
+        assert level3.dynamic_checked
+        assert level3.engine == "compiled"
+        assert level3.dynamic_journal  # FPGA calls actually executed
+        assert level3.dynamic_consistency_violations == []
+        # The dynamic shadow agrees with SymbC's static certificate.
+        assert level3.symbc.consistent
+
+
+class TestSweepPointError:
+    #: capacity_gates=2 passes spec validation but makes the level-3
+    #: context mapper infeasible at run time.
+    BAD_GRID = {"capacity_gates": [16_000, 2]}
+
+    def test_serial_sweep_names_failing_point(self):
+        base = SMALL.replace(levels=(1, 3))
+        with pytest.raises(SweepPointError) as excinfo:
+            Campaign.sweep(base, self.BAD_GRID)
+        message = str(excinfo.value)
+        assert "t[capacity_gates=2]" in message
+        assert "workload='facerec'" in message
+        assert "ContextError" in message
+
+    def test_parallel_sweep_names_failing_point(self):
+        base = SMALL.replace(levels=(1, 3))
+        with pytest.raises(SweepPointError) as excinfo:
+            Campaign.sweep(base, self.BAD_GRID, jobs=2)
+        message = str(excinfo.value)
+        assert "t[capacity_gates=2]" in message
+        assert "params={}" in message
+        assert "ContextError" in message

@@ -293,6 +293,44 @@ def test_stop_mid_run():
     assert len(ticks) == 3
 
 
+def test_stop_mid_evaluate_keeps_remaining_ready_queued():
+    """stop() during an evaluate phase must not run the rest of the batch."""
+    sim = Simulator()
+    ran = []
+
+    def stopper():
+        ran.append("stopper")
+        sim.stop()
+        yield wait(1, NS)
+
+    def bystander():
+        ran.append("bystander")
+        yield wait(1, NS)
+
+    sim.spawn("stopper", stopper())
+    proc = sim.spawn("bystander", bystander())
+    sim.run()
+    assert ran == ["stopper"]
+    # The bystander is still queued ready, not silently dropped.
+    assert proc.state is ProcessState.READY
+
+
+def test_same_timestamp_actions_preserve_schedule_order():
+    """Actions filed at one timestamp run in scheduling order (bucket FIFO)."""
+    sim = Simulator()
+    order = []
+
+    def worker(tag, delay_ns):
+        yield wait(delay_ns, NS)
+        order.append(tag)
+
+    for tag in ("a", "b", "c"):
+        sim.spawn(tag, worker(tag, 5))
+    sim.spawn("later", worker("later", 7))
+    sim.run()
+    assert order == ["a", "b", "c", "later"]
+
+
 def test_activation_and_delta_counters():
     sim = Simulator()
 

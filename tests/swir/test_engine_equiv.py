@@ -1,0 +1,261 @@
+"""Differential fuzzing: compiled engine vs tree-walking interpreter.
+
+The compiled engine's contract is *bit-identical* execution: for any
+program and any inputs, both engines must agree on the returned value,
+the final environment, every coverage set, the defect reports
+(uninitialised reads, in order), the FPGA journal with its consistency
+violations, and the step count — or raise the same ``InterpError``.
+
+Three layers of evidence:
+
+- hypothesis-generated random programs (expressions over the full
+  operator set, nested if/while, function calls, FPGA calls and
+  reconfigurations, faults injected at random sites);
+- the three registered workloads' level-4 step functions over dense
+  input grids;
+- the full instrumented level-3 SW program of every workload (correct
+  and deliberately broken instrumentation, so consistency-violation
+  reporting is exercised).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.swir.ast import (
+    Assign,
+    BIN_OPS,
+    BinOp,
+    Call,
+    Const,
+    FpgaCall,
+    Function,
+    If,
+    Program,
+    Reconfigure,
+    Return,
+    UnOp,
+    Var,
+    While,
+)
+from repro.swir.engine import CompiledEngine, compile_program, create_engine
+from repro.swir.interp import Fault, InterpError, Interpreter
+
+#: Step budget for fuzzed runs: small enough that runaway loops fail
+#: fast, large enough that terminating programs finish.
+FUZZ_MAX_STEPS = 3_000
+
+VAR_NAMES = ("p0", "p1", "a", "b", "c")
+FPGA_FUNCS = ("F0", "F1")
+CONTEXTS = {"F0": "config1", "F1": "config2"}
+
+
+def run_both(program, inputs, externals=None, context_map=None, fault=None,
+             max_steps=FUZZ_MAX_STEPS):
+    """Run under both engines; return the two normalized outcomes."""
+    outcomes = []
+    for engine in ("ast", "compiled"):
+        executor = create_engine(program, engine=engine,
+                                 externals=externals,
+                                 context_map=context_map,
+                                 max_steps=max_steps)
+        try:
+            result = executor.run(list(inputs) if isinstance(inputs, list)
+                                  else inputs, fault=fault)
+        except InterpError as exc:
+            outcomes.append(("error", str(exc)))
+        else:
+            outcomes.append(("ok", result.fingerprint()))
+    return outcomes
+
+
+def assert_equivalent(program, inputs, **kwargs):
+    ast_out, compiled_out = run_both(program, inputs, **kwargs)
+    assert ast_out == compiled_out, (
+        f"engines diverged on inputs {inputs}:\n ast: {ast_out}\n "
+        f"compiled: {compiled_out}")
+
+
+# -- hypothesis strategies ----------------------------------------------------
+
+def exprs(depth: int = 3):
+    leaf = st.one_of(
+        st.integers(min_value=-(2**31), max_value=2**31 - 1).map(Const),
+        st.sampled_from(VAR_NAMES).map(Var),
+    )
+
+    def extend(children):
+        return st.one_of(
+            st.tuples(st.sampled_from(BIN_OPS), children, children).map(
+                lambda t: BinOp(*t)),
+            st.tuples(st.sampled_from(("-", "~", "!")), children).map(
+                lambda t: UnOp(*t)),
+            st.tuples(children,).map(
+                lambda t: Call("helper", (t[0],))),
+        )
+
+    return st.recursive(leaf, extend, max_leaves=8)
+
+
+def stmts(depth: int = 2):
+    assign = st.tuples(st.sampled_from(VAR_NAMES), exprs()).map(
+        lambda t: Assign(*t))
+    ret = exprs().map(lambda e: Return(e))
+    reconfigure = st.sampled_from(sorted(set(CONTEXTS.values()))).map(
+        Reconfigure)
+    fpga = st.tuples(st.sampled_from(FPGA_FUNCS), exprs(),
+                     st.sampled_from(VAR_NAMES)).map(
+        lambda t: FpgaCall(t[0], (t[1],), target=t[2]))
+    leaf = st.one_of(assign, ret, reconfigure, fpga)
+    if depth == 0:
+        return leaf
+    inner = stmts(depth - 1)
+    if_stmt = st.tuples(exprs(), st.lists(inner, max_size=3),
+                        st.lists(inner, max_size=2)).map(
+        lambda t: If(t[0], t[1], t[2]))
+    while_stmt = st.tuples(exprs(), st.lists(inner, min_size=1, max_size=3)).map(
+        lambda t: While(t[0], t[1]))
+    return st.one_of(assign, ret, reconfigure, fpga, if_stmt, while_stmt)
+
+
+programs = st.lists(stmts(), min_size=1, max_size=8).map(
+    lambda body: Program({
+        "main": Function("main", ("p0", "p1"), body),
+        "helper": Function("helper", ("h",),
+                           [Return(BinOp("^", BinOp("*", Var("h"), Const(3)),
+                                         Const(5)))]),
+    }))
+
+input_vectors = st.lists(
+    st.integers(min_value=-(2**31), max_value=2**31 - 1),
+    min_size=2, max_size=2)
+
+
+class TestFuzzedPrograms:
+    @settings(max_examples=120, deadline=None, derandomize=True)
+    @given(program=programs, vector=input_vectors)
+    def test_random_programs_agree(self, program, vector):
+        assert_equivalent(program, vector,
+                          externals={"ext": lambda x: x + 1},
+                          context_map=CONTEXTS)
+
+    @settings(max_examples=60, deadline=None, derandomize=True)
+    @given(program=programs, vector=input_vectors,
+           bit=st.integers(min_value=0, max_value=31),
+           stuck=st.integers(min_value=0, max_value=1),
+           pick=st.integers(min_value=0, max_value=10**6))
+    def test_random_programs_agree_under_fault(self, program, vector, bit,
+                                               stuck, pick):
+        sids = sorted(s.sid for s in program.walk())
+        fault = Fault(sid=sids[pick % len(sids)], bit=bit, stuck=stuck)
+        assert_equivalent(program, vector, context_map=CONTEXTS, fault=fault)
+
+    @settings(max_examples=40, deadline=None, derandomize=True)
+    @given(vector=st.lists(st.integers(-500, 500), min_size=2, max_size=2))
+    def test_error_paths_agree(self, vector):
+        # Division by zero and step overflow must raise identically.
+        body = [
+            Assign("a", BinOp("/", Var("p0"), Var("p1"))),
+            While(BinOp(">", Var("a"), Const(-10**9)),
+                  [Assign("a", BinOp("-", Var("a"), Const(0)))]),
+            Return(Var("a")),
+        ]
+        program = Program({"main": Function("main", ("p0", "p1"), body)})
+        assert_equivalent(program, vector)
+
+
+# -- the workloads' real step functions ---------------------------------------
+
+def _workload_functions():
+    from repro.facerec.swmodels import root_function
+    from repro.workloads.blockcipher import (
+        sbox_step_function,
+        xtime_step_function,
+    )
+    from repro.workloads.edgescan import (
+        mag_step_function,
+        thresh_step_function,
+    )
+
+    return {
+        "facerec.ROOT": root_function(16),
+        "edgescan.MAG_STEP": mag_step_function(),
+        "edgescan.THRESH_STEP": thresh_step_function(),
+        "blockcipher.XTIME_STEP": xtime_step_function(),
+        "blockcipher.SBOX_STEP": sbox_step_function(),
+    }
+
+
+@pytest.mark.parametrize("label", sorted(_workload_functions()))
+def test_workload_step_functions_agree(label):
+    function = _workload_functions()[label]
+    program = Program({function.name: function}, entry=function.name)
+    arity = len(function.params)
+    grid = [-300, -17, -1, 0, 1, 7, 63, 128, 255, 4096, 30_000]
+    vectors = ([[v] for v in grid] if arity == 1 else
+               [[a, b] for a in grid[::2] for b in grid[1::2]])
+    for vector in vectors:
+        assert_equivalent(program, vector, max_steps=200_000)
+
+
+# -- the level-3 instrumented SW programs -------------------------------------
+
+@pytest.mark.parametrize("workload", ["facerec", "edgescan", "blockcipher"])
+@pytest.mark.parametrize("broken", [False, True])
+def test_level3_sw_programs_agree(workload, broken):
+    from repro.api import CampaignSpec, Session
+    from repro.flow.level3 import build_sw_program, stub_task_externals
+
+    workload_overrides = {
+        "facerec": dict(identities=2, poses=1, size=32, frames=2),
+        "edgescan": dict(frames=2),
+        "blockcipher": dict(frames=2, params={"block_words": 8}),
+    }[workload]
+    session = Session(CampaignSpec(workload=workload, **workload_overrides))
+    partition = session.value("partition")["reconfigurable"]
+    skip = {sorted(partition.fpga_tasks)[0]} if broken else None
+    program, context_map = build_sw_program(session.graph, partition,
+                                            skip_instrumentation=skip)
+    ast_out, compiled_out = run_both(program, [3],
+                                     externals=stub_task_externals(program),
+                                     context_map=context_map,
+                                     max_steps=200_000)
+    assert ast_out == compiled_out
+    status, payload = compiled_out
+    assert status == "ok"
+    violations = payload[7]
+    assert bool(violations) == broken
+
+
+# -- compiler structure -------------------------------------------------------
+
+def test_compiled_program_is_flat_with_resolved_jumps():
+    """The compiled form is a flat list; jumps are numeric, pre-resolved."""
+    body = [
+        Assign("a", Const(1)),
+        While(BinOp("<", Var("a"), Const(5)),
+              [If(BinOp("&", Var("a"), Const(1)),
+                  [Assign("a", BinOp("+", Var("a"), Const(2)))],
+                  [Assign("a", BinOp("+", Var("a"), Const(1)))])]),
+        Return(Var("a")),
+    ]
+    program = Program({"main": Function("main", (), body)})
+    compiled = compile_program(program)
+    main = compiled.functions["main"]
+    assert main.code and all(callable(instr) for instr in main.code)
+    listing = compiled.disassemble()
+    assert "WHILE_TEST" in listing and "JUMP ->" in listing
+    # Every jump target in the listing is inside the instruction list.
+    import re
+
+    targets = [int(t) for t in re.findall(r"-> (\d+)", listing)]
+    assert targets and all(0 <= t <= len(main.code) for t in targets)
+
+
+def test_create_engine_rejects_unknown_names():
+    program = Program({"main": Function("main", (), [Return(Const(1))])})
+    with pytest.raises(ValueError, match="unknown engine"):
+        create_engine(program, engine="jit")
+    assert isinstance(create_engine(program, "ast"), Interpreter)
+    assert isinstance(create_engine(program, "compiled"), CompiledEngine)

@@ -42,6 +42,13 @@ class TestParser:
             args = parser.parse_args([command, "--frames", "3"])
             assert args.frames == 3
 
+    def test_engine_selector(self):
+        parser = build_parser()
+        assert parser.parse_args(["flow"]).engine == "compiled"
+        assert parser.parse_args(["flow", "--engine", "ast"]).engine == "ast"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["flow", "--engine", "jit"])
+
 
 class TestCommands:
     def test_topology(self, capsys):
@@ -122,6 +129,18 @@ class TestCommands:
         assert main(["topology", "--workload", "blockcipher"]) == 0
         out = capsys.readouterr().out
         assert "blockcipher" in out and "12 modules" in out
+
+    def test_flow_engine_ab_identical(self, capsys):
+        """--engine ast and --engine compiled emit the same document."""
+        from repro.serialize import canonical_json
+
+        documents = {}
+        for engine in ("ast", "compiled"):
+            assert main(["flow", *SIM_WORKLOAD, "--engine", engine,
+                         "--json"]) == 0
+            documents[engine] = json.loads(capsys.readouterr().out)
+        assert canonical_json(documents["ast"]) == \
+            canonical_json(documents["compiled"])
 
 
 class TestCampaignCommand:
