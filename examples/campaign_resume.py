@@ -1,0 +1,55 @@
+"""Resumable sweeps against a persistent campaign store.
+
+A :class:`~repro.api.CampaignStore` keeps every completed grid point on
+disk under its content address (spec hash + store/engine/workload
+identity).  A sweep run against the store persists as it goes; re-run
+with ``resume=True`` it merges every completed point byte-identically
+from disk and executes only what is missing — so a crashed, killed or
+simply repeated campaign never recomputes finished work.
+
+Run:  python examples/campaign_resume.py [store-dir]
+"""
+
+import sys
+import time
+
+from repro.api import Campaign, CampaignSpec, CampaignStore
+from repro.serialize import canonical_json
+
+
+def main() -> None:
+    store_dir = sys.argv[1] if len(sys.argv) > 1 else "campaign-store"
+    store = CampaignStore(store_dir)
+
+    base = CampaignSpec(
+        name="resume-demo",
+        identities=2,
+        poses=1,
+        size=32,
+        frames=1,
+    )
+    grid = {"frames": [1, 2]}
+
+    start = time.perf_counter()
+    cold = Campaign.sweep(base, grid, store=store, resume=True)
+    cold_s = time.perf_counter() - start
+    print(cold.describe())
+    print(f"first run: {len(cold.executed)} executed, "
+          f"{len(cold.store_hits)} from store ({cold_s:.1f}s)")
+    print()
+
+    start = time.perf_counter()
+    warm = Campaign.sweep(base, grid, store=store, resume=True)
+    warm_s = time.perf_counter() - start
+    print(f"second run: {len(warm.executed)} executed, "
+          f"{len(warm.store_hits)} from store ({warm_s:.2f}s)")
+
+    identical = canonical_json(cold.to_dict()) == canonical_json(warm.to_dict())
+    print(f"merged results byte-identical: {identical}")
+    print()
+    print(store.describe())
+    print(f"\n(re-run this script: everything now merges from {store_dir!r})")
+
+
+if __name__ == "__main__":
+    main()

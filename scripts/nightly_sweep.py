@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Nightly store-backed sweep across every registered workload.
+
+Runs a small multi-point campaign sweep for each of the three built-in
+workloads against one shared :class:`repro.store.CampaignStore`, always
+with ``resume=True``: against a warm store (restored from the CI cache)
+every completed point merges from disk and nothing recomputes; against a
+cold store everything executes once and is persisted for the next night.
+
+``--expect-warm`` turns "nothing recomputed" into an assertion — the CI
+nightly runs the sweep twice and requires the second invocation to skip
+every completed grid point (exit 1 otherwise, with the offending points
+named).
+
+Usage::
+
+    PYTHONPATH=src python scripts/nightly_sweep.py --store campaign-store
+    PYTHONPATH=src python scripts/nightly_sweep.py --store campaign-store \
+        --expect-warm --json-out warm.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.api import Campaign, CampaignSpec, CampaignStore
+from repro.store import STORE_VERSION
+
+#: One reduced-size, all-four-levels base spec + grid per workload.
+SWEEPS = {
+    "facerec": (
+        CampaignSpec(name="nightly-facerec", identities=2, poses=1,
+                     size=32, frames=1),
+        {"frames": [1, 2]},
+    ),
+    "edgescan": (
+        CampaignSpec(name="nightly-edgescan", workload="edgescan", frames=1,
+                     params={"shapes": 2, "scales": 1, "size": 32}),
+        {"frames": [1, 2]},
+    ),
+    "blockcipher": (
+        CampaignSpec(name="nightly-blockcipher", workload="blockcipher",
+                     frames=2, params={"block_words": 8}),
+        {"frames": [2, 3]},
+    ),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--store", required=True, metavar="PATH",
+                        help="campaign store directory (shared across runs)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes per sweep")
+    parser.add_argument("--expect-warm", action="store_true",
+                        help="fail unless every grid point merges from the "
+                             "store (zero recomputes)")
+    parser.add_argument("--json-out", metavar="FILE",
+                        help="write the summary document to FILE")
+    args = parser.parse_args(argv)
+
+    store = CampaignStore(args.store)
+    summary = {"schema": "repro.nightly_sweep/v1",
+               "store_version": STORE_VERSION, "sweeps": {}}
+    failed = False
+    recomputed: list[str] = []
+    for workload, (base, grid) in SWEEPS.items():
+        result = Campaign.sweep(base, grid, jobs=args.jobs, store=store,
+                                resume=True)
+        summary["sweeps"][workload] = {
+            "passed": result.passed,
+            "points": len(result.runs()),
+            "from_store": result.store_hits,
+            "executed": result.executed,
+            "retried": result.retried,
+        }
+        print(result.describe())
+        failed = failed or not result.passed
+        recomputed.extend(result.executed)
+
+    print(f"\nstore after sweeps: {len(store.ls())} entries "
+          f"({store.hits} hits, {store.misses} misses this run)")
+    if args.json_out:
+        with open(args.json_out, "w") as stream:
+            json.dump(summary, stream, indent=2, sort_keys=True)
+        print(f"summary written to {args.json_out}")
+    if failed:
+        print("FAILURE: at least one sweep point failed its gates")
+        return 1
+    if args.expect_warm and recomputed:
+        print(f"FAILURE: expected a warm store but {len(recomputed)} "
+              f"points recomputed: {recomputed}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,6 +26,10 @@ Quick tour::
 
     cipher = CampaignSpec(workload="blockcipher", frames=8)
     Campaign(cipher).run()         # same flow, different scenario
+
+    store = CampaignStore("campaign-store")      # durable result store
+    Campaign.sweep(spec, {"frames": [1, 2]},
+                   store=store, resume=True)     # skips completed points
 """
 
 from repro.api.campaign import (
@@ -37,6 +41,7 @@ from repro.api.campaign import (
 )
 from repro.api.session import Session
 from repro.api.spec import ALL_LEVELS, CampaignSpec, SPEC_SCHEMA, SPEC_SCHEMA_V1
+from repro.store import CampaignStore
 from repro.api.stages import (
     FlowStage,
     LEVEL_STAGES,
@@ -60,6 +65,7 @@ __all__ = [
     "Campaign",
     "CampaignOutcome",
     "CampaignSpec",
+    "CampaignStore",
     "FlowStage",
     "LEVEL_GATES",
     "LEVEL_STAGES",

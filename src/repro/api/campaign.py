@@ -122,7 +122,7 @@ class SweepPointError(RuntimeError):
         )
 
 
-def _run_spec_payload(spec_doc: dict) -> dict:
+def _run_spec_payload(spec_doc: dict, store_root: Optional[str] = None) -> dict:
     """Pool worker: run one spec document, return the outcome payload.
 
     Module-level (picklable by name) on purpose; live outcomes carry
@@ -130,12 +130,51 @@ def _run_spec_payload(spec_doc: dict) -> dict:
     serialized form crosses the process boundary.  Failures are wrapped
     in :class:`SweepPointError` so the parent sees which grid point (and
     which parameters) died, not just a bare pool traceback.
+
+    With ``store_root`` the worker opens the shared
+    :class:`repro.store.CampaignStore` (atomic per-entry writes make
+    concurrent workers safe), persists the outcome — or the failure
+    envelope — under the spec's content address, and runs its session
+    against the store so the level-4 artifact is shared across workers.
     """
     spec = CampaignSpec.from_dict(spec_doc)
+    store = None
+    if store_root is not None:
+        from repro.store import CampaignStore
+
+        store = CampaignStore(store_root)
     try:
-        return Campaign(spec).run().to_dict()
+        _outcome, payload = run_recorded(spec, store)
     except Exception as exc:
         raise SweepPointError.wrap(spec, exc) from exc
+    return payload
+
+
+def run_recorded(
+    spec: CampaignSpec,
+    store: Optional[Any],
+    session: Optional[Session] = None,
+) -> tuple["CampaignOutcome", dict]:
+    """Run one spec, recording the outcome — or the failure — in the store.
+
+    The single definition of the store persistence protocol, shared by
+    the CLI single-run path, the serial store-backed sweep and the pool
+    workers: a completed run persists its outcome document under the
+    spec's content address; a raising run persists its error envelope
+    (so ``resume`` retries it) and re-raises unwrapped.
+    """
+    try:
+        if session is None:
+            session = Session(spec, store=store)
+        outcome = Campaign(spec).run(session=session)
+        payload = outcome.to_dict()
+    except Exception as exc:
+        if store is not None:
+            store.put_campaign_failure(spec, exc)
+        raise
+    if store is not None:
+        store.put_campaign(spec, payload)
+    return outcome, payload
 
 
 class Campaign:
@@ -144,9 +183,19 @@ class Campaign:
     def __init__(self, spec: CampaignSpec):
         self.spec = spec
 
-    def run(self, session: Optional[Session] = None) -> CampaignOutcome:
-        """Run the spec's levels; dependencies resolve through the cache."""
-        session = session if session is not None else Session(self.spec)
+    def run(self, session: Optional[Session] = None,
+            store: Optional[Any] = None) -> CampaignOutcome:
+        """Run the spec's levels; dependencies resolve through the cache.
+
+        ``store`` (a :class:`repro.store.CampaignStore`) wires the fresh
+        session to disk-backed stage persistence; pass either a session
+        or a store, not both — a caller-built session already decided.
+        """
+        if session is not None and store is not None:
+            raise ValueError("pass either session= or store=, not both "
+                             "(build the session with store= instead)")
+        session = session if session is not None else Session(self.spec,
+                                                              store=store)
         start = _time.perf_counter()
         results: dict[str, StageResult] = {}
         gates: dict[int, bool] = {}
@@ -197,6 +246,8 @@ class Campaign:
         base: CampaignSpec,
         grid: Mapping[str, Sequence[Any]],
         jobs: int = 1,
+        store: Optional[Any] = None,
+        resume: bool = False,
     ) -> "SweepResult":
         """Fan a spec grid out over sessions.
 
@@ -220,26 +271,31 @@ class Campaign:
         actually available to this process (oversubscribing a CPU quota
         makes the simulation-heavy points dramatically slower, not
         faster).
+
+        ``store`` (a :class:`repro.store.CampaignStore`) makes the sweep
+        durable: every completed point's outcome document is persisted
+        under its content address (failures persist too, with their
+        error envelope), sessions share the store's level-4 artifacts,
+        and the merged result is payload-based for serial and parallel
+        alike.  ``resume=True`` additionally *skips* every grid point
+        whose completed entry is already in the store — merging the
+        stored payload byte-identically instead of recomputing — while
+        points whose stored entry is a **failure** are retried (only
+        failures are ever retried, never successes).  A sweep that
+        crashed or was killed mid-grid therefore continues where it
+        stopped, across processes and CI jobs.
         """
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if resume and store is None:
+            raise ValueError("resume=True requires store=")
         specs = cls.sweep_specs(base, grid)
         grid_doc = {k: list(v) for k, v in grid.items()}
+        if store is not None:
+            return cls._sweep_stored(base, grid, grid_doc, specs, jobs,
+                                     store, resume)
         if jobs > 1:
-            import multiprocessing
-
-            # Prefer fork where available: workers inherit the parent's
-            # workload registry, so runtime-registered custom workloads
-            # sweep correctly.  Under spawn (Windows), workloads must be
-            # registered at import time of an importable module.
-            try:
-                ctx = multiprocessing.get_context("fork")
-            except ValueError:  # pragma: no cover (no fork on platform)
-                ctx = multiprocessing.get_context()
-            processes = max(1, min(jobs, len(specs), _available_cpus()))
-            with ctx.Pool(processes=processes) as pool:
-                payloads = pool.map(_run_spec_payload,
-                                    [spec.to_dict() for spec in specs])
+            payloads = cls._pool_payloads(specs, jobs)
             return SweepResult(base=base, grid=grid_doc, outcomes=[],
                                payloads=payloads, jobs=jobs)
         outcomes: list[CampaignOutcome] = []
@@ -258,15 +314,84 @@ class Campaign:
                 raise SweepPointError.wrap(session.spec, exc) from exc
         return SweepResult(base=base, grid=grid_doc, outcomes=outcomes)
 
+    @staticmethod
+    def _pool_payloads(specs: Sequence[CampaignSpec], jobs: int,
+                       store_root: Optional[str] = None) -> list[dict]:
+        """Run ``specs`` over a fork pool, returning outcome payloads."""
+        import multiprocessing
+
+        # Prefer fork where available: workers inherit the parent's
+        # workload registry, so runtime-registered custom workloads
+        # sweep correctly.  Under spawn (Windows), workloads must be
+        # registered at import time of an importable module.
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover (no fork on platform)
+            ctx = multiprocessing.get_context()
+        processes = max(1, min(jobs, len(specs), _available_cpus()))
+        with ctx.Pool(processes=processes) as pool:
+            return pool.starmap(
+                _run_spec_payload,
+                [(spec.to_dict(), store_root) for spec in specs])
+
+    @classmethod
+    def _sweep_stored(cls, base, grid, grid_doc, specs, jobs, store,
+                      resume) -> "SweepResult":
+        """The store-backed sweep: skip completed points, retry failures."""
+        slots: list[Optional[dict]] = [None] * len(specs)
+        hits: list[str] = []
+        retried: list[str] = []
+        pending: list[int] = []
+        for index, spec in enumerate(specs):
+            entry = store.get_campaign(spec) if resume else None
+            if entry is not None and entry["status"] == "ok":
+                slots[index] = entry["payload"]
+                hits.append(spec.name)
+                continue
+            if entry is not None:  # a recorded failure: retry this point
+                retried.append(spec.name)
+            pending.append(index)
+        executed = [specs[index].name for index in pending]
+        if pending and jobs > 1:
+            payloads = cls._pool_payloads([specs[i] for i in pending], jobs,
+                                          store_root=str(store.root))
+            for index, payload in zip(pending, payloads):
+                slots[index] = payload
+        else:
+            session: Optional[Session] = None
+            for index in pending:
+                spec = specs[index]
+                if session is None:
+                    session = Session(spec, store=store)
+                else:
+                    session = session.with_spec(
+                        name=spec.name, **{k: getattr(spec, k) for k in grid})
+                try:
+                    _outcome, payload = run_recorded(session.spec, store,
+                                                     session=session)
+                except Exception as exc:
+                    raise SweepPointError.wrap(session.spec, exc) from exc
+                slots[index] = payload
+        return SweepResult(base=base, grid=grid_doc, outcomes=[],
+                           payloads=slots, jobs=jobs, store_hits=hits,
+                           executed=executed, retried=retried,
+                           store_used=True)
+
 
 @dataclass
 class SweepResult:
     """Outcomes of one spec-grid sweep, in grid order.
 
     Serial sweeps carry live :class:`CampaignOutcome` objects in
-    ``outcomes``; parallel sweeps (``jobs>1``) carry the workers'
+    ``outcomes``; parallel (``jobs>1``) and store-backed sweeps carry
     serialized payloads in ``payloads`` instead.  ``runs()`` exposes the
     uniform serialized view for both.
+
+    Store-backed sweeps additionally record the resume bookkeeping:
+    which grid points merged straight from the store (``store_hits``),
+    which actually executed (``executed``) and which executed as retries
+    of previously-recorded failures (``retried``) — all volatile
+    execution metadata, excluded from result equality.
     """
 
     base: CampaignSpec
@@ -274,6 +399,10 @@ class SweepResult:
     outcomes: list[CampaignOutcome] = field(default_factory=list)
     payloads: Optional[list[dict]] = None
     jobs: int = 1
+    store_used: bool = False
+    store_hits: list[str] = field(default_factory=list)
+    executed: list[str] = field(default_factory=list)
+    retried: list[str] = field(default_factory=list)
 
     def runs(self) -> list[dict]:
         """The per-point outcome documents, in grid order."""
@@ -317,7 +446,7 @@ class SweepResult:
         return sorted(self.runs(), key=key)
 
     def to_dict(self) -> dict:
-        return {
+        document = {
             "schema": "repro.campaign_sweep/v1",
             "base": self.base.to_dict(),
             "grid": self.grid,
@@ -325,6 +454,15 @@ class SweepResult:
             "passed": self.passed,
             "runs": self.runs(),
         }
+        if self.store_used:
+            # Volatile by contract ("store_resume" is in VOLATILE_KEYS):
+            # a cold and a resumed sweep differ only here.
+            document["store_resume"] = {
+                "hits": list(self.store_hits),
+                "executed": list(self.executed),
+                "retried": list(self.retried),
+            }
+        return document
 
     def _summaries(self) -> list[tuple[str, bool, Optional[float], float]]:
         """(name, passed, level2 latency ps, wall s) per point — reads
@@ -355,6 +493,12 @@ class SweepResult:
             f"({len(rows)} runs{mode}, "
             f"{'all PASSED' if self.passed else 'FAILURES present'}):",
         ]
+        if self.store_used:
+            retries = (f", {len(self.retried)} retried failures"
+                       if self.retried else "")
+            lines.append(
+                f"  store: {len(self.store_hits)} points merged from "
+                f"store, {len(self.executed)} executed{retries}")
         for name, passed, latency_ps, wall in rows:
             verdict = "PASSED" if passed else "FAILED"
             extra = (f" latency={latency_ps / 1e9:.3f} ms/frame"

@@ -41,12 +41,17 @@ class Session:
         self,
         spec: Optional[CampaignSpec] = None,
         cpu_model: Optional[CpuModel] = None,
+        store: Optional[Any] = None,
         **overrides: Any,
     ):
         spec = spec if spec is not None else CampaignSpec()
         if overrides:
             spec = spec.replace(**overrides)
         self.spec = spec
+        #: optional :class:`repro.store.CampaignStore`; stages opting
+        #: into persistence (level 4) reload/persist through it, making
+        #: their results durable across processes and CI jobs
+        self.store = store
         #: the registered workload implementation driving this session
         self.workload = spec.workload_impl()
         #: the workload's validated parameter record
@@ -71,6 +76,9 @@ class Session:
         self.forcing: Optional[str] = None
         #: times each stage was actually computed (cache hits excluded)
         self.compute_counts: dict[str, int] = {}
+        #: times each stage was reloaded from the configured store
+        #: (those runs are *not* computes and don't count above)
+        self.store_hits: dict[str, int] = {}
 
     # -- shared workload artifacts (built lazily, owned by the session) -----------
 
@@ -143,7 +151,10 @@ class Session:
             raise RuntimeError(
                 f"stage {name!r} returned a result labelled {result.stage!r}")
         self._results[name] = result
-        self.compute_counts[name] = self.compute_counts.get(name, 0) + 1
+        if result.from_store:
+            self.store_hits[name] = self.store_hits.get(name, 0) + 1
+        else:
+            self.compute_counts[name] = self.compute_counts.get(name, 0) + 1
         return result
 
     def value(self, name: str) -> Any:
@@ -230,7 +241,7 @@ class Session:
         """
         spec = self.spec.replace(**changes)
         cpu_model = None if "cpu" in changes else self._cpu_model
-        derived = Session(spec, cpu_model=cpu_model)
+        derived = Session(spec, cpu_model=cpu_model, store=self.store)
         changed = {
             f.name for f in fields(CampaignSpec)
             if getattr(spec, f.name) != getattr(self.spec, f.name)

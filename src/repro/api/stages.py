@@ -47,6 +47,10 @@ class StageResult:
     value: Any
     wall_seconds: float
     from_cache: bool = False
+    #: rehydrated from a configured :class:`repro.store.CampaignStore`
+    #: instead of computed (a volatile key, like ``from_cache``: two
+    #: results that differ only here are the same result)
+    from_store: bool = False
 
     def to_dict(self) -> dict:
         from repro.serialize import json_safe
@@ -56,6 +60,7 @@ class StageResult:
             "stage": self.stage,
             "wall_seconds": self.wall_seconds,
             "from_cache": self.from_cache,
+            "from_store": self.from_store,
             "value": json_safe(self.value),
         }
 
@@ -72,20 +77,55 @@ class Stage(Protocol):
 
 
 class FlowStage:
-    """Convenience base: implement :meth:`compute`, get timing for free."""
+    """Convenience base: implement :meth:`compute`, get timing for free.
+
+    A stage whose artifact is expensive and serializable can opt into
+    :class:`repro.store.CampaignStore` persistence by setting
+    ``persist = True`` and implementing :meth:`store_identity` (the
+    entry's key material) plus :meth:`rehydrate` (stored document back
+    to a gate-able artifact).  When the session has a store configured,
+    :meth:`run` then reloads the artifact from disk when present —
+    across processes and CI jobs — and persists it after computing it;
+    ``force=True`` (``Session.run``) recomputes and overwrites.
+    """
 
     name: str = ""
     requires: tuple[str, ...] = ()
     sensitive_to: tuple[str, ...] = WORKLOAD_FIELDS
+    #: whether this stage's artifact persists in a configured store
+    persist: bool = False
 
     def run(self, ctx: "Session") -> StageResult:
         start = _time.perf_counter()
+        persisting = self.persist and ctx.store is not None
+        if persisting and ctx.forcing != self.name:
+            payload = ctx.store.get_stage(self.store_identity(ctx))
+            if payload is not None:
+                return StageResult(
+                    stage=self.name, value=self.rehydrate(payload),
+                    wall_seconds=_time.perf_counter() - start,
+                    from_store=True,
+                )
         value = self.compute(ctx)
+        if persisting:
+            ctx.store.put_stage(self.store_identity(ctx), value.to_dict())
         return StageResult(stage=self.name, value=value,
                            wall_seconds=_time.perf_counter() - start)
 
     def compute(self, ctx: "Session") -> Any:
         raise NotImplementedError
+
+    def store_identity(self, ctx: "Session") -> dict:
+        """Key material identifying this stage's persisted artifact."""
+        raise NotImplementedError(
+            f"stage {self.name!r} sets persist=True but does not define "
+            f"store_identity()")
+
+    def rehydrate(self, payload: dict) -> Any:
+        """A gate-able artifact rebuilt from the stored document."""
+        raise NotImplementedError(
+            f"stage {self.name!r} sets persist=True but does not define "
+            f"rehydrate()")
 
 
 _REGISTRY: dict[str, Stage] = {}
@@ -234,14 +274,37 @@ class Level4Stage(FlowStage):
     ``(workload, run_pcc)`` and shared across sessions.  A session-level
     ``invalidate`` does not clear the memo; ``run("level4", force=True)``
     does, re-running the verification.
+
+    When the session has a :class:`repro.store.CampaignStore`, the
+    disk-backed entry **replaces** the process-local memo: the result
+    persists across processes and CI jobs, keyed on the workload
+    identity (name + revision) and ``run_pcc``, and reloads as a
+    :class:`repro.store.StoredLevel4Result` whose ``to_dict`` is
+    byte-identical to the live result's.
     """
 
     name = "level4"
     sensitive_to = ("workload", "run_pcc")
+    persist = True
 
     _memo: dict[tuple[str, bool], Any] = {}
 
+    def store_identity(self, ctx: "Session") -> dict:
+        from repro.store import workload_identity
+
+        return {"stage": self.name, "run_pcc": ctx.spec.run_pcc,
+                **workload_identity(ctx.workload.name)}
+
+    def rehydrate(self, payload: dict):
+        from repro.store import StoredLevel4Result
+
+        return StoredLevel4Result(payload)
+
     def compute(self, ctx: "Session"):
+        if ctx.store is not None:
+            # The store replaces the process-local memo (FlowStage.run
+            # has already consulted it and will persist this result).
+            return self._verify(ctx)
         key = (ctx.workload.name, ctx.spec.run_pcc)
         if key not in self._memo or ctx.forcing == self.name:
             self._memo[key] = self._verify(ctx)

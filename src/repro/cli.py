@@ -9,6 +9,8 @@ the pluggable :mod:`repro.workloads` registry:
 - ``campaign``  — run a :class:`~repro.api.spec.CampaignSpec` file
   (single run or grid sweep, optionally parallel with ``--jobs``);
 - ``workloads`` — list the registered workloads;
+- ``store``     — inspect/maintain a content-addressed campaign store
+  (``ls``/``show``/``gc``);
 - ``explore``   — the level-2 architecture exploration sweep;
 - ``verify``    — the level-1 LPV deadlock proof;
 - ``wave``      — synthesise the ROOT module, run it, dump a VCD trace.
@@ -16,7 +18,10 @@ the pluggable :mod:`repro.workloads` registry:
 Every simulating command takes ``--workload`` (any registered name),
 ``--param key=value`` for workload-specific knobs and ``--engine``
 (``ast`` | ``compiled``) to pick the SWIR execution engine — results
-are byte-identical either way.  Commands that produce results accept
+are byte-identical either way.  ``flow`` and ``campaign`` take
+``--store PATH`` to persist results in a :mod:`repro.store` directory;
+``campaign --resume`` skips grid points already completed there and
+retries recorded failures.  Commands that produce results accept
 ``--json`` to emit the schema-stable machine-readable document instead
 of prose.
 """
@@ -103,9 +108,15 @@ def cmd_topology(args) -> int:
     return 0
 
 
+def _open_store(args):
+    from repro.store import CampaignStore
+
+    return CampaignStore(args.store) if getattr(args, "store", None) else None
+
+
 def cmd_flow(args) -> int:
     spec = _spec(args, run_pcc=args.pcc, deadline_ms=args.deadline_ms)
-    report = Session(spec).report()
+    report = Session(spec, store=_open_store(args)).report()
     _emit(args, report.to_dict(), report.describe())
     return 0 if report.passed else 1
 
@@ -118,14 +129,71 @@ def cmd_campaign(args) -> int:
         sweep_grid = payload["sweep"]
         payload = payload.get("spec", {})
     spec = CampaignSpec.from_dict(payload)
+    store = _open_store(args)
+    if args.resume and store is None:
+        raise SystemExit("--resume requires --store PATH")
     if sweep_grid:
-        result = Campaign.sweep(spec, sweep_grid, jobs=args.jobs)
+        result = Campaign.sweep(spec, sweep_grid, jobs=args.jobs,
+                                store=store, resume=args.resume)
     elif args.jobs > 1:
         raise SystemExit("--jobs requires a sweep grid in the spec file")
     else:
-        result = Campaign(spec).run()
+        return _run_single_campaign(args, spec, store)
     _emit(args, result.to_dict(), result.describe())
     return 0 if result.passed else 1
+
+
+def _run_single_campaign(args, spec: CampaignSpec, store) -> int:
+    """One-spec campaign, with store persistence and resume skip."""
+    from repro.api.campaign import run_recorded
+
+    if store is not None and args.resume:
+        entry = store.get_campaign(spec)
+        if entry is not None and entry["status"] == "ok":
+            payload = entry["payload"]
+            verdict = "PASSED" if payload["passed"] else "FAILED"
+            _emit(args, payload,
+                  f"campaign {spec.name!r} merged from store "
+                  f"{entry['key'][:12]}: {verdict}")
+            return 0 if payload["passed"] else 1
+    outcome, payload = run_recorded(spec, store)
+    _emit(args, payload, outcome.describe())
+    return 0 if outcome.passed else 1
+
+
+def cmd_store(args) -> int:
+    from repro.store import CampaignStore
+
+    try:
+        # Maintenance commands never create: a mistyped path should
+        # error out, not leave an empty store behind.
+        store = CampaignStore(args.store, create=False)
+    except (FileNotFoundError, ValueError) as exc:
+        raise SystemExit(str(exc))
+    if args.store_command == "ls":
+        rows = store.ls()
+        _emit(args, {"schema": "repro.store_listing/v1",
+                     "store": str(store.root), "entries": rows},
+              store.describe(rows))
+        return 0
+    if args.store_command == "show":
+        try:
+            envelope = store.show(args.key)
+        except (KeyError, ValueError) as exc:
+            raise SystemExit(str(exc))
+        text = json.dumps(envelope, indent=2, sort_keys=True)
+        _emit(args, envelope, text)
+        return 0
+    # gc
+    stats = store.gc(failed=args.failed)
+    document = {"schema": "repro.store_gc/v1", "store": str(store.root),
+                **stats}
+    text = (f"gc {store.root}: removed {stats['removed_tmp']} temp files, "
+            f"{stats['removed_corrupt']} corrupt entries, "
+            f"{stats['removed_failed']} failed entries; "
+            f"{stats['kept']} entries kept")
+    _emit(args, document, text)
+    return 0
 
 
 def cmd_workloads(args) -> int:
@@ -205,6 +273,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="include the PCC property-coverage pass (slow)")
     p_flow.add_argument("--deadline-ms", type=float, default=500.0,
                         help="LPV frame deadline in milliseconds")
+    p_flow.add_argument("--store", metavar="PATH",
+                        help="campaign store directory: persist/reload the "
+                             "expensive level-4 verification across runs")
     _add_json_arg(p_flow)
     p_flow.set_defaults(func=cmd_flow)
 
@@ -217,8 +288,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_campaign.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="fan sweep grid points out over N worker processes")
+    p_campaign.add_argument(
+        "--store", metavar="PATH",
+        help="campaign store directory: persist every completed point "
+             "(and failures) under its content address")
+    p_campaign.add_argument(
+        "--resume", action="store_true",
+        help="skip points already completed in --store; retry only "
+             "recorded failures")
     _add_json_arg(p_campaign)
     p_campaign.set_defaults(func=cmd_campaign)
+
+    p_store = sub.add_parser(
+        "store", help="inspect/maintain a campaign store directory")
+    store_sub = p_store.add_subparsers(dest="store_command", required=True)
+    p_store_ls = store_sub.add_parser("ls", help="list store entries")
+    p_store_show = store_sub.add_parser(
+        "show", help="print one entry envelope (unique key prefix ok)")
+    p_store_show.add_argument("key", help="entry key or unique prefix")
+    p_store_gc = store_sub.add_parser(
+        "gc", help="reclaim temp litter and corrupt entries")
+    p_store_gc.add_argument(
+        "--failed", action="store_true",
+        help="also remove failure entries (their points will re-run "
+             "on the next resumed sweep)")
+    for p_sub in (p_store_ls, p_store_show, p_store_gc):
+        p_sub.add_argument("--store", metavar="PATH", required=True,
+                           help="campaign store directory")
+        _add_json_arg(p_sub)
+        p_sub.set_defaults(func=cmd_store)
 
     p_workloads = sub.add_parser("workloads",
                                  help="list the registered workloads")

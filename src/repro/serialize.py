@@ -54,9 +54,14 @@ def json_safe(value: Any) -> Any:
 #: Keys whose values are host-timing measurements or execution metadata
 #: (how a result was computed), not flow results.  Everything else in a
 #: result document is a deterministic function of the spec, which is
-#: what determinism and serial-vs-parallel equality are asserted on.
+#: what determinism, serial-vs-parallel equality and cold-vs-resumed
+#: store equality are all asserted on.  ``from_store``/``store_resume``
+#: record whether a result was recomputed or reloaded from a
+#: :class:`repro.store.CampaignStore`; ``created_at`` stamps store entry
+#: envelopes.  None of them may enter result equality.
 VOLATILE_KEYS = frozenset({"wall_seconds", "sim_speed_ratio", "jobs",
-                           "from_cache"})
+                           "from_cache", "from_store", "store_resume",
+                           "created_at"})
 
 
 def canonical_document(document: Any,
@@ -83,3 +88,16 @@ def canonical_json(document: Any,
                    volatile: Iterable[str] = VOLATILE_KEYS) -> str:
     """Deterministic JSON encoding of :func:`canonical_document`."""
     return json.dumps(canonical_document(document, volatile), sort_keys=True)
+
+
+def documents_equal(first: Any, second: Any,
+                    volatile: Iterable[str] = VOLATILE_KEYS) -> bool:
+    """Whether two documents are equal minus the volatile keys.
+
+    This is the equality the store and the resume machinery promise:
+    a stage result or campaign outcome reloaded from a
+    :class:`repro.store.CampaignStore` entry envelope compares equal to
+    the one that was computed live, however long ago and on whichever
+    host the entry was written.
+    """
+    return canonical_json(first, volatile) == canonical_json(second, volatile)

@@ -1,0 +1,468 @@
+"""repro.store — a disk-backed, content-addressed campaign result store.
+
+Every entry is keyed by the SHA-256 of a *key document*: the campaign
+spec's :func:`repro.serialize.canonical_json` form plus the store schema
+version and the engine/workload identity (their revision counters).  Two
+processes — or two CI jobs days apart — that ask for the same spec under
+the same code identity therefore address the same entry, which is what
+lets :meth:`repro.api.campaign.Campaign.sweep` resume a half-finished
+grid and lets CI stop re-verifying unchanged grid points.
+
+Durability contract:
+
+- **atomic writes** — every entry is written to a same-directory
+  temporary file and ``os.replace``'d into place, so readers never see a
+  half-written entry and concurrent writers of the *same* key settle on
+  one complete envelope;
+- **corruption-tolerant reads** — an unreadable, truncated or
+  schema-mismatched entry file is treated as a miss (and counted in
+  :attr:`CampaignStore.corrupt`), never an exception: a crashed writer
+  or a bad disk degrades the store to a cache miss, not a failed sweep;
+- **failure envelopes** — a grid point that *raises* is recorded with
+  ``status="error"`` and the error's type/message, so a resumed sweep
+  can retry exactly the failed points and never the completed ones.
+
+The maintenance surface (:meth:`~CampaignStore.ls`,
+:meth:`~CampaignStore.show`, :meth:`~CampaignStore.gc`) is exposed by
+the ``repro store`` CLI subcommand.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Optional
+
+from repro.serialize import canonical_json, json_safe
+
+#: Schema tag of the store manifest (``store.json`` at the root).
+STORE_SCHEMA = "repro.store/v1"
+#: Version baked into every content address; bump to invalidate every
+#: existing entry when the envelope layout or keying rules change.
+STORE_VERSION = 1
+#: Schema tag of every entry envelope.
+ENTRY_SCHEMA = "repro.store_entry/v1"
+
+#: Age (seconds) past which an atomic-write temp file is considered
+#: orphaned by a crashed writer.  ``gc`` never touches younger temps:
+#: they may belong to a concurrent writer between create and rename.
+STALE_TMP_SECONDS = 15 * 60
+
+
+def engine_identity(engine: str) -> dict:
+    """The execution-engine part of an entry's content address."""
+    from repro.swir.engine import ENGINE_REVISION
+
+    return {"engine": engine, "engine_revision": ENGINE_REVISION}
+
+
+def workload_identity(name: str) -> dict:
+    """The workload part of an entry's content address.
+
+    Includes the workload's ``revision`` counter (default 1): a workload
+    implementation that changes its results bumps it, retiring every
+    stored entry computed by the old implementation.
+    """
+    from repro.workloads import get_workload
+
+    workload = get_workload(name)
+    return {"workload": workload.name,
+            "workload_revision": int(getattr(workload, "revision", 1))}
+
+
+def campaign_identity(spec) -> dict:
+    """Everything besides the spec itself that shapes a campaign result."""
+    return {
+        "store_version": STORE_VERSION,
+        **engine_identity(spec.engine),
+        **workload_identity(spec.workload),
+    }
+
+
+def content_key(document: Any) -> str:
+    """SHA-256 hex digest of the document's canonical JSON form."""
+    return hashlib.sha256(
+        canonical_json(document).encode("utf-8")).hexdigest()
+
+
+def campaign_key(spec) -> str:
+    """The content address of one campaign spec's result entry."""
+    return content_key({
+        "kind": "campaign",
+        "identity": campaign_identity(spec),
+        "spec": spec.to_dict(),
+    })
+
+
+def stage_key(identity: dict) -> str:
+    """The content address of a persisted stage artifact.
+
+    ``identity`` is the stage's own key material (see
+    :meth:`repro.api.stages.FlowStage.store_identity`); the store schema
+    version rides along so a version bump retires stage entries too.
+    """
+    return content_key({
+        "kind": "stage",
+        "identity": {"store_version": STORE_VERSION, **identity},
+    })
+
+
+class StoredLevel4Result:
+    """A level-4 verification result rehydrated from its stored document.
+
+    Quacks like :class:`repro.flow.level4.Level4Result` for everything
+    downstream of the stage cache — the level-4 pass gate
+    (:attr:`verified`), serialization (:meth:`to_dict` returns the
+    stored document verbatim, so reports built from a store hit are
+    byte-identical to the original run) and :meth:`describe` — without
+    the live netlists, which are not round-trippable.
+    """
+
+    def __init__(self, payload: dict):
+        self._payload = payload
+
+    @property
+    def verified(self) -> bool:
+        return bool(self._payload.get("verified", False))
+
+    @property
+    def modules(self) -> dict:
+        """Per-module summary documents (not live :class:`ModuleRtl`)."""
+        return self._payload.get("modules", {})
+
+    def to_dict(self) -> dict:
+        return copy.deepcopy(self._payload)
+
+    def describe(self) -> str:
+        lines = ["level 4: RTL generation and verification"]
+        for module in self.modules.values():
+            proved = "PROVED" if module["all_properties_hold"] else "FAILED"
+            wrapper = "verified" if module["wrapper_checked"] else "UNCHECKED"
+            lines.append(
+                f"  {module['name']}: {module['registers']} registers, "
+                f"{module['state_bits']} state bits; "
+                f"{len(module['properties'])} properties {proved}; "
+                f"wrapper {wrapper}"
+            )
+            if module.get("pcc") is not None:
+                pcc = module["pcc"]
+                lines.append(
+                    f"    PCC property coverage: {pcc['coverage']:.1%} "
+                    f"({len(pcc['survivors'])} undetected mutants)"
+                )
+        return "\n".join(lines)
+
+
+class CampaignStore:
+    """One on-disk store rooted at a directory.
+
+    Layout::
+
+        <root>/store.json              manifest (schema + version)
+        <root>/entries/<kk>/<key>.json one envelope per content address
+
+    where ``<kk>`` is the first two hex digits of the key (fan-out so
+    ``ls`` over large stores never lists one huge directory).
+    """
+
+    def __init__(self, root, create: bool = True):
+        self.root = Path(root)
+        self.entries_dir = self.root / "entries"
+        #: cache-efficiency counters for this handle (not persisted)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        #: corrupt entry files seen by reads (candidates for ``gc``)
+        self.corrupt: list[str] = []
+        manifest_path = self.root / "store.json"
+        if create:
+            self.entries_dir.mkdir(parents=True, exist_ok=True)
+            if not manifest_path.exists():
+                self._write_json(manifest_path, {
+                    "schema": STORE_SCHEMA,
+                    "version": STORE_VERSION,
+                })
+        elif not manifest_path.exists():
+            raise FileNotFoundError(
+                f"no campaign store at {self.root} (missing store.json); "
+                f"check the path — stores are only created by writers")
+        manifest = self._read_json(manifest_path)
+        if manifest is None and create and manifest_path.exists():
+            # Torn/corrupt manifest: rewrite it so the version guard
+            # comes back for every later open (entries are untouched —
+            # their content addresses embed the version anyway).
+            manifest = {"schema": STORE_SCHEMA, "version": STORE_VERSION}
+            self._write_json(manifest_path, manifest)
+        if manifest is not None:
+            version = manifest.get("version")
+            if version != STORE_VERSION:
+                raise ValueError(
+                    f"store at {self.root} has version {version!r}; this "
+                    f"build reads/writes version {STORE_VERSION} — point at "
+                    f"a fresh directory (entries never collide: the version "
+                    f"is part of every content address)"
+                )
+
+    # -- low-level file handling --------------------------------------------------
+
+    def _entry_path(self, key: str) -> Path:
+        return self.entries_dir / key[:2] / f"{key}.json"
+
+    @staticmethod
+    def _write_json(path: Path, document: dict) -> None:
+        """Atomic write: same-directory temp file + ``os.replace``."""
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.parent / f".{path.name}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as stream:
+            json.dump(document, stream, sort_keys=True)
+            stream.flush()
+            os.fsync(stream.fileno())
+        os.replace(tmp, path)
+
+    @staticmethod
+    def _read_json(path: Path) -> Optional[dict]:
+        """The file's JSON object, or None if missing/corrupt."""
+        try:
+            with open(path, encoding="utf-8") as stream:
+                document = json.load(stream)
+        except (OSError, ValueError, UnicodeDecodeError):
+            return None
+        return document if isinstance(document, dict) else None
+
+    # -- keys ---------------------------------------------------------------------
+
+    def campaign_key(self, spec) -> str:
+        return campaign_key(spec)
+
+    def stage_key(self, identity: dict) -> str:
+        return stage_key(identity)
+
+    def resolve(self, prefix: str) -> str:
+        """The unique stored key starting with ``prefix``.
+
+        Raises ``KeyError`` when no entry matches and ``ValueError``
+        when the prefix is ambiguous.
+        """
+        matches = [key for key in self.keys() if key.startswith(prefix)]
+        if not matches:
+            raise KeyError(f"no store entry matches {prefix!r}")
+        if len(matches) > 1:
+            raise ValueError(
+                f"key prefix {prefix!r} is ambiguous "
+                f"({len(matches)} matches)")
+        return matches[0]
+
+    # -- reads --------------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[dict]:
+        """The entry envelope for ``key``, or None (miss *or* corrupt)."""
+        path = self._entry_path(key)
+        if not path.exists():
+            self.misses += 1
+            return None
+        envelope = self._read_json(path)
+        if (envelope is None
+                or envelope.get("schema") != ENTRY_SCHEMA
+                or envelope.get("key") != key
+                or envelope.get("status") not in ("ok", "error")):
+            # Truncated write, bad disk, or a foreign file: a miss, not
+            # an error.  Remember it so gc can reclaim the file.
+            self.corrupt.append(str(path))
+            self.misses += 1
+            return None
+        self.hits += 1
+        return envelope
+
+    def get_campaign(self, spec) -> Optional[dict]:
+        """The stored envelope for one campaign spec (any status)."""
+        return self.get(self.campaign_key(spec))
+
+    def get_stage(self, identity: dict) -> Optional[dict]:
+        """The stored *payload* of a persisted stage artifact, or None."""
+        envelope = self.get(self.stage_key(identity))
+        if envelope is None or envelope["status"] != "ok":
+            return None
+        return envelope["payload"]
+
+    # -- writes -------------------------------------------------------------------
+
+    def _put(self, key: str, envelope: dict) -> str:
+        self._write_json(self._entry_path(key), envelope)
+        self.writes += 1
+        return key
+
+    def _attempts_before(self, key: str) -> int:
+        path = self._entry_path(key)
+        previous = self._read_json(path) if path.exists() else None
+        if previous is None:
+            return 0
+        return int(previous.get("attempts", 0) or 0)
+
+    def put_campaign(self, spec, payload: dict) -> str:
+        """Record one completed campaign outcome document; returns key."""
+        key = self.campaign_key(spec)
+        return self._put(key, {
+            "schema": ENTRY_SCHEMA,
+            "key": key,
+            "kind": "campaign",
+            "status": "ok",
+            "identity": campaign_identity(spec),
+            "spec": spec.to_dict(),
+            "payload": json_safe(payload),
+            "error": None,
+            "attempts": self._attempts_before(key) + 1,
+            "created_at": time.time(),
+        })
+
+    def put_campaign_failure(self, spec, exc: BaseException) -> str:
+        """Record one *failed* campaign point with its error envelope."""
+        key = self.campaign_key(spec)
+        return self._put(key, {
+            "schema": ENTRY_SCHEMA,
+            "key": key,
+            "kind": "campaign",
+            "status": "error",
+            "identity": campaign_identity(spec),
+            "spec": spec.to_dict(),
+            "payload": None,
+            "error": {
+                "type": type(exc).__name__,
+                "message": str(exc),
+            },
+            "attempts": self._attempts_before(key) + 1,
+            "created_at": time.time(),
+        })
+
+    def put_stage(self, identity: dict, payload: dict) -> str:
+        """Persist one stage artifact document under its identity."""
+        key = self.stage_key(identity)
+        return self._put(key, {
+            "schema": ENTRY_SCHEMA,
+            "key": key,
+            "kind": "stage",
+            "status": "ok",
+            "identity": {"store_version": STORE_VERSION, **identity},
+            "spec": None,
+            "payload": json_safe(payload),
+            "error": None,
+            "attempts": self._attempts_before(key) + 1,
+            "created_at": time.time(),
+        })
+
+    def delete(self, key: str) -> bool:
+        """Remove one entry; returns whether it existed."""
+        path = self._entry_path(key)
+        try:
+            os.unlink(path)
+        except FileNotFoundError:
+            return False
+        return True
+
+    # -- maintenance --------------------------------------------------------------
+
+    def _entry_files(self) -> list[Path]:
+        if not self.entries_dir.is_dir():
+            return []
+        return sorted(self.entries_dir.glob("*/*.json"))
+
+    def keys(self) -> list[str]:
+        """Every readable entry key, sorted."""
+        out = []
+        for path in self._entry_files():
+            if not path.name.startswith("."):
+                out.append(path.stem)
+        return out
+
+    def ls(self) -> list[dict]:
+        """One summary row per readable entry (corrupt files skipped)."""
+        rows = []
+        for path in self._entry_files():
+            if path.name.startswith("."):
+                continue
+            envelope = self._read_json(path)
+            if (envelope is None or envelope.get("schema") != ENTRY_SCHEMA
+                    or envelope.get("key") != path.stem):
+                continue
+            spec = envelope.get("spec") or {}
+            identity = envelope.get("identity") or {}
+            rows.append({
+                "key": envelope["key"],
+                "kind": envelope.get("kind", "?"),
+                "status": envelope.get("status", "?"),
+                "name": spec.get("name") or identity.get("stage") or "",
+                "workload": (spec.get("workload")
+                             or identity.get("workload") or ""),
+                "attempts": envelope.get("attempts", 1),
+                "created_at": envelope.get("created_at"),
+                "bytes": path.stat().st_size,
+            })
+        rows.sort(key=lambda row: (row["kind"], row["name"], row["key"]))
+        return rows
+
+    def show(self, key_or_prefix: str) -> dict:
+        """The full envelope for a key (unique prefixes accepted)."""
+        key = self.resolve(key_or_prefix)
+        envelope = self.get(key)
+        if envelope is None:
+            raise KeyError(f"store entry {key} is unreadable (corrupt?); "
+                           f"run gc to reclaim it")
+        return envelope
+
+    def gc(self, failed: bool = False) -> dict:
+        """Reclaim temp litter and corrupt entries; optionally failures.
+
+        Always removes *stale* atomic-write temp files (older than
+        :data:`STALE_TMP_SECONDS` — younger ones may belong to a
+        concurrent writer mid-rename) and entry files that do not parse
+        as valid envelopes; with ``failed=True`` also removes
+        ``status="error"`` entries (forcing a resumed sweep to retry
+        those points even if their retry budget concerned you).
+        Returns removal/kept counts.
+        """
+        stats = {"removed_tmp": 0, "removed_corrupt": 0,
+                 "removed_failed": 0, "kept": 0}
+        if not self.entries_dir.is_dir():
+            return stats
+        now = time.time()
+        tmp_files = list(self.entries_dir.glob("*/.*"))
+        tmp_files += [path for path in self.root.glob(".*.tmp.*")
+                      if path.is_file()]  # orphaned manifest temps
+        for path in sorted(tmp_files):
+            try:
+                if now - path.stat().st_mtime < STALE_TMP_SECONDS:
+                    continue
+            except OSError:
+                continue  # raced with its writer's os.replace: in use
+            path.unlink(missing_ok=True)
+            stats["removed_tmp"] += 1
+        for path in self._entry_files():
+            envelope = self._read_json(path)
+            if (envelope is None or envelope.get("schema") != ENTRY_SCHEMA
+                    or envelope.get("key") != path.stem
+                    or envelope.get("status") not in ("ok", "error")):
+                path.unlink(missing_ok=True)
+                stats["removed_corrupt"] += 1
+            elif failed and envelope["status"] == "error":
+                path.unlink(missing_ok=True)
+                stats["removed_failed"] += 1
+            else:
+                stats["kept"] += 1
+        self.corrupt = []
+        return stats
+
+    def describe(self, rows: Optional[list[dict]] = None) -> str:
+        rows = self.ls() if rows is None else rows
+        ok = sum(1 for row in rows if row["status"] == "ok")
+        failed = sum(1 for row in rows if row["status"] == "error")
+        lines = [f"store {self.root} (schema {STORE_SCHEMA}): "
+                 f"{len(rows)} entries ({ok} ok, {failed} failed)"]
+        for row in rows:
+            status = "ok    " if row["status"] == "ok" else "FAILED"
+            label = row["name"] or row["kind"]
+            lines.append(f"  {row['key'][:12]}  {status} {row['kind']:<8} "
+                         f"{label} ({row['bytes']} bytes)")
+        return "\n".join(lines)

@@ -38,6 +38,7 @@ from repro.swir.builder import FunctionBuilder, ProgramBuilder
 from repro.swir.cfg import BasicBlock, Cfg, build_cfg
 from repro.swir.engine import (
     DEFAULT_ENGINE,
+    ENGINE_REVISION,
     ENGINES,
     CompiledEngine,
     CompiledProgram,
@@ -72,6 +73,7 @@ __all__ = [
     "Interpreter",
     "InterpError",
     "DEFAULT_ENGINE",
+    "ENGINE_REVISION",
     "ENGINES",
     "CompiledEngine",
     "CompiledProgram",

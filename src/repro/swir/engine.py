@@ -73,6 +73,13 @@ ENGINES = ("ast", "compiled")
 #: The engine used when no selector is given.
 DEFAULT_ENGINE = "compiled"
 
+#: Execution-semantics revision, part of every
+#: :mod:`repro.store` content address.  Bump whenever either engine's
+#: observable results (values, coverage, journals, step accounting)
+#: change, so stored campaign entries computed under the old semantics
+#: are retired instead of silently reused.
+ENGINE_REVISION = 1
+
 
 def validate_engine(engine: str) -> str:
     """Return ``engine`` if it names a known engine; raise otherwise.

@@ -53,7 +53,11 @@ class Workload(Protocol):
     - ``min_accuracy`` — the workload's level-1 pass threshold on
       :meth:`score`;
     - ``conformance_overrides`` — spec-field overrides giving a
-      reduced-size campaign for the cross-workload conformance suite.
+      reduced-size campaign for the cross-workload conformance suite;
+    - ``revision`` (optional, default 1) — implementation revision
+      baked into :mod:`repro.store` content addresses; bump it whenever
+      the workload's results change so stored entries computed by the
+      old implementation are retired rather than reused.
     """
 
     name: str

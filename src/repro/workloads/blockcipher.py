@@ -275,6 +275,8 @@ class BlockCipherWorkload:
     conformance_overrides = {
         "frames": 2, "params": {"block_words": 8},
     }
+    #: bump when results change (retires repro.store entries)
+    revision = 1
 
     #: Datapath width of the synthesised accelerators.
     WIDTH = 16

@@ -421,6 +421,8 @@ class EdgeScanWorkload:
     conformance_overrides = {
         "frames": 1, "params": {"shapes": 2, "scales": 1, "size": 32},
     }
+    #: bump when results change (retires repro.store entries)
+    revision = 1
 
     #: Datapath width of the synthesised accelerators.
     WIDTH = 16

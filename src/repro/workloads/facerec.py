@@ -42,6 +42,8 @@ class FacerecWorkload:
     min_accuracy = 0.5
     conformance_overrides = {"identities": 2, "poses": 1, "size": 32,
                              "frames": 1}
+    #: bump when results change (retires repro.store entries)
+    revision = 1
 
     #: Datapath width of the synthesised accelerators.
     WIDTH = 16

@@ -1,0 +1,83 @@
+"""Store content-address stability, pinned by a golden fixture.
+
+The content address of a campaign entry is an API: CI warm caches and
+long-lived stores depend on the same spec hashing to the same key across
+commits.  ``tests/golden/store_key.json`` pins the address of a
+canonical facerec spec entry (plus the level-4 stage entry identity);
+any drift — a reordered key document, a changed hash input, an
+accidental volatile key leaking into the address — fails here.
+
+To regenerate after an *intentional* keying change (which must come
+with a ``STORE_VERSION`` or revision bump, retiring old entries)::
+
+    GOLDEN_REGEN=1 PYTHONPATH=src python -m pytest tests/store -q
+"""
+
+import json
+import os
+from pathlib import Path
+
+from repro.api import CampaignSpec
+from repro.store import STORE_VERSION, campaign_identity, campaign_key, stage_key
+
+GOLDEN_PATH = Path(__file__).parent.parent / "golden" / "store_key.json"
+
+#: The canonical facerec spec whose content address is pinned.  All
+#: fields are explicit so the fixture does not drift with spec defaults
+#: (changing a default is a real keying change and should fail here).
+CANONICAL = CampaignSpec(
+    name="golden-store",
+    workload="facerec",
+    identities=2,
+    poses=1,
+    size=32,
+    frames=1,
+    noise_sigma=2.0,
+    seed=2004,
+    cpu="ARM7TDMI",
+    capacity_gates=16_000,
+    deadline_ms=500.0,
+    levels=(1, 2, 3, 4),
+    run_pcc=False,
+)
+
+LEVEL4_IDENTITY = {"stage": "level4", "run_pcc": False,
+                   "workload": "facerec", "workload_revision": 1}
+
+
+def current_document() -> dict:
+    return {
+        "schema": "repro.store_key/v1",
+        "store_version": STORE_VERSION,
+        "spec": CANONICAL.to_dict(),
+        "identity": campaign_identity(CANONICAL),
+        "campaign_key": campaign_key(CANONICAL),
+        "level4_stage_key": stage_key(LEVEL4_IDENTITY),
+    }
+
+
+def test_content_address_matches_golden():
+    document = current_document()
+    if os.environ.get("GOLDEN_REGEN") == "1":
+        GOLDEN_PATH.write_text(json.dumps(document, indent=2,
+                                          sort_keys=True) + "\n")
+    golden = json.loads(GOLDEN_PATH.read_text())
+    assert document == golden, (
+        "store content address drifted from tests/golden/store_key.json. "
+        "If the keying change is intentional, bump STORE_VERSION (or the "
+        "engine/workload revision that moved) and regenerate with "
+        "GOLDEN_REGEN=1 pytest tests/store"
+    )
+
+
+def test_key_is_stable_across_spec_reserialization():
+    """to_dict -> from_dict -> to_dict must not move the address."""
+    round_tripped = CampaignSpec.from_dict(CANONICAL.to_dict())
+    assert campaign_key(round_tripped) == campaign_key(CANONICAL)
+
+
+def test_key_independent_of_handle_and_process_state():
+    """Two computations in one process agree (no hidden global state)."""
+    assert campaign_key(CANONICAL) == campaign_key(CANONICAL)
+    assert stage_key(LEVEL4_IDENTITY) == stage_key(dict(
+        sorted(LEVEL4_IDENTITY.items(), reverse=True)))

@@ -1,0 +1,202 @@
+"""Resumable-sweep semantics against a campaign store.
+
+The acceptance contract: a sweep run cold against a store, then re-run
+with ``resume=True`` against the same store, produces **byte-identical**
+merged results (per ``canonical_json`` minus ``VOLATILE_KEYS`` — in
+fact identical including the per-point volatile keys, since stored
+payloads merge verbatim) while executing **zero** already-completed grid
+points; recorded *failures* are retried, recorded *successes* never.
+"""
+
+import pytest
+
+from repro.api import (
+    Campaign,
+    CampaignSpec,
+    CampaignStore,
+    SweepPointError,
+)
+from repro.serialize import canonical_json
+
+#: Fast grid: levels 1-2 only (no BMC), tiny facerec.
+FAST = CampaignSpec(name="resume", identities=2, poses=1, size=32,
+                    frames=1, levels=(1, 2))
+GRID = {"frames": [1, 2], "cpu": ["ARM7TDMI", "ARM9TDMI"]}
+POINTS = [spec.name for spec in Campaign.sweep_specs(FAST, GRID)]
+
+
+@pytest.fixture
+def store(tmp_path):
+    return CampaignStore(tmp_path / "store")
+
+
+def forbid_recompute(monkeypatch):
+    """After this, any Campaign.run means resume failed to skip."""
+    def bomb(self, session=None, store=None):
+        raise AssertionError(
+            f"resume recomputed an already-completed point: "
+            f"{self.spec.name!r}")
+    monkeypatch.setattr(Campaign, "run", bomb)
+
+
+class TestResume:
+    def test_cold_then_warm_is_byte_identical_with_zero_recomputes(
+            self, store, monkeypatch):
+        cold = Campaign.sweep(FAST, GRID, store=store)
+        assert cold.executed == POINTS and cold.store_hits == []
+        assert cold.passed
+
+        # Store hits vs recomputes: the warm run must take every point
+        # from the store and compute none (Campaign.run is a bomb).
+        forbid_recompute(monkeypatch)
+        warm = Campaign.sweep(FAST, GRID, store=store, resume=True)
+        assert warm.store_hits == POINTS
+        assert warm.executed == [] and warm.retried == []
+        assert canonical_json(warm.to_dict()) == canonical_json(cold.to_dict())
+        # Stored payloads merge verbatim: identical even before
+        # stripping the volatile keys.
+        assert warm.runs() == cold.runs()
+
+    def test_cold_without_resume_recomputes_but_persists(self, store):
+        Campaign.sweep(FAST, {"frames": [1]}, store=store)
+        again = Campaign.sweep(FAST, {"frames": [1]}, store=store)
+        # resume not requested: executed again (and overwritten)...
+        assert again.executed == ["resume[frames=1]"]
+        entry = store.get_campaign(FAST.replace(name="resume[frames=1]"))
+        assert entry["attempts"] == 2
+
+    def test_resume_requires_store(self):
+        with pytest.raises(ValueError, match="resume"):
+            Campaign.sweep(FAST, GRID, resume=True)
+
+    def test_partial_store_runs_only_missing_points(self, store,
+                                                    monkeypatch):
+        small_grid = {"frames": [1, 2]}
+        specs = Campaign.sweep_specs(FAST, small_grid)
+        # Only the first point is in the store (simulating a sweep that
+        # was killed mid-grid).
+        Campaign.sweep(FAST, {"frames": [1]}, store=store)
+        real_run = Campaign.run
+        ran = []
+
+        def counting(self, session=None, store=None):
+            ran.append(self.spec.name)
+            return real_run(self, session=session, store=store)
+        monkeypatch.setattr(Campaign, "run", counting)
+        result = Campaign.sweep(FAST, small_grid, store=store, resume=True)
+        assert ran == [specs[1].name]
+        assert result.store_hits == [specs[0].name]
+        assert result.executed == [specs[1].name]
+        assert [run["spec"]["name"] for run in result.runs()] == \
+            [spec.name for spec in specs]
+
+    def test_failures_are_recorded_and_retried_never_successes(
+            self, store, monkeypatch):
+        small_grid = {"frames": [1, 2]}
+        fail_name = "resume[frames=2]"
+        real_run = Campaign.run
+
+        def failing(self, session=None, store=None):
+            if self.spec.name == fail_name:
+                raise RuntimeError("injected point failure")
+            return real_run(self, session=session, store=store)
+
+        monkeypatch.setattr(Campaign, "run", failing)
+        with pytest.raises(SweepPointError, match="injected point failure"):
+            Campaign.sweep(FAST, small_grid, store=store)
+        # The completed point and the failure envelope both persisted.
+        ok_entry = store.get_campaign(FAST.replace(name="resume[frames=1]",
+                                                   frames=1))
+        bad_entry = store.get_campaign(FAST.replace(name=fail_name,
+                                                    frames=2))
+        assert ok_entry["status"] == "ok"
+        assert bad_entry["status"] == "error"
+        assert bad_entry["error"]["type"] == "RuntimeError"
+
+        # Resume: the success is never re-run, the failure is retried.
+        ran = []
+
+        def counting(self, session=None, store=None):
+            ran.append(self.spec.name)
+            return real_run(self, session=session, store=store)
+        monkeypatch.setattr(Campaign, "run", counting)
+        result = Campaign.sweep(FAST, small_grid, store=store, resume=True)
+        assert ran == [fail_name]
+        assert result.store_hits == ["resume[frames=1]"]
+        assert result.retried == [fail_name]
+        assert result.executed == [fail_name]
+        assert result.passed
+        # The retried point's envelope now records the second attempt.
+        healed = store.get_campaign(FAST.replace(name=fail_name, frames=2))
+        assert healed["status"] == "ok" and healed["attempts"] == 2
+
+    def test_corrupted_entry_is_recomputed_on_resume(self, store):
+        """A truncated entry (partial write) degrades to re-execution."""
+        grid = {"frames": [1]}
+        cold = Campaign.sweep(FAST, grid, store=store)
+        key = store.campaign_key(FAST.replace(name="resume[frames=1]"))
+        path = store._entry_path(key)
+        path.write_text(path.read_text()[:100])  # simulate a torn write
+        warm = Campaign.sweep(FAST, grid, store=store, resume=True)
+        assert warm.executed == ["resume[frames=1]"]
+        assert canonical_json(warm.to_dict()) == canonical_json(cold.to_dict())
+        # ... and the healthy entry is back for the next resume.
+        assert store.get(key)["status"] == "ok"
+
+    def test_persistent_failure_keeps_its_envelope(self, store,
+                                                   monkeypatch):
+        def always_failing(self, session=None, store=None):
+            raise RuntimeError("still broken")
+        monkeypatch.setattr(Campaign, "run", always_failing)
+        grid = {"frames": [1]}
+        for _ in range(2):
+            with pytest.raises(SweepPointError):
+                Campaign.sweep(FAST, grid, store=store, resume=True)
+        entry = store.get_campaign(FAST.replace(name="resume[frames=1]"))
+        assert entry["status"] == "error"
+        assert entry["attempts"] == 2
+
+
+class TestParallelResume:
+    def test_pool_workers_share_the_store(self, store, monkeypatch):
+        cold = Campaign.sweep(FAST, GRID, jobs=2, store=store)
+        assert cold.executed == POINTS
+        # Every point persisted by its worker process.
+        assert len([r for r in store.ls()
+                    if r["kind"] == "campaign"]) == len(POINTS)
+
+        forbid_recompute(monkeypatch)
+        warm = Campaign.sweep(FAST, GRID, jobs=2, store=store, resume=True)
+        assert warm.store_hits == POINTS and warm.executed == []
+        assert canonical_json(warm.to_dict()) == canonical_json(cold.to_dict())
+
+    def test_serial_and_parallel_store_sweeps_agree(self, tmp_path):
+        serial = Campaign.sweep(
+            FAST, {"frames": [1, 2]},
+            store=CampaignStore(tmp_path / "serial"))
+        parallel = Campaign.sweep(
+            FAST, {"frames": [1, 2]}, jobs=2,
+            store=CampaignStore(tmp_path / "parallel"))
+        assert canonical_json(serial.to_dict()) == \
+            canonical_json(parallel.to_dict())
+
+
+class TestFullFlowResume:
+    """The all-four-levels acceptance run (slow: one real level 4)."""
+
+    def test_full_campaign_resumes_byte_identically(self, tmp_path,
+                                                    monkeypatch):
+        store = CampaignStore(tmp_path / "store")
+        spec = CampaignSpec(name="full", identities=2, poses=1, size=32,
+                            frames=1)
+        grid = {"frames": [1, 2]}
+        cold = Campaign.sweep(spec, grid, store=store)
+        assert cold.passed
+        # Both campaign entries and the shared level-4 stage entry.
+        kinds = {row["kind"] for row in store.ls()}
+        assert kinds == {"campaign", "stage"}
+
+        forbid_recompute(monkeypatch)
+        warm = Campaign.sweep(spec, grid, store=store, resume=True)
+        assert warm.executed == []
+        assert canonical_json(warm.to_dict()) == canonical_json(cold.to_dict())

@@ -233,3 +233,137 @@ class TestCampaignCommand:
         document = json.loads(capsys.readouterr().out)
         assert document["passed"] is True
         assert document["spec"]["workload"] == "blockcipher"
+
+
+class TestStoreBackedCommands:
+    """``--store``/``--resume`` on campaign + the ``store`` subcommand."""
+
+    SPEC = {
+        "schema": "repro.campaign_spec/v2",
+        "name": "cli-store",
+        "identities": 2,
+        "poses": 1,
+        "size": 32,
+        "frames": 1,
+        "levels": [1, 2],
+    }
+
+    def _write(self, tmp_path, payload):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_single_run_persists_then_resumes(self, tmp_path, capsys):
+        spec_file = self._write(tmp_path, self.SPEC)
+        store_dir = str(tmp_path / "store")
+        assert main(["campaign", spec_file, "--store", store_dir,
+                     "--json"]) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert first["passed"] is True
+        # Second invocation with --resume merges from the store.
+        assert main(["campaign", spec_file, "--store", store_dir,
+                     "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "merged from store" in out and "PASSED" in out
+        # ... and the JSON view is the stored outcome document itself.
+        assert main(["campaign", spec_file, "--store", store_dir,
+                     "--resume", "--json"]) == 0
+        resumed = json.loads(capsys.readouterr().out)
+        from repro.serialize import canonical_json
+        assert canonical_json(resumed) == canonical_json(first)
+
+    def test_sweep_resume_skips_completed_points(self, tmp_path, capsys):
+        payload = {"spec": self.SPEC,
+                   "sweep": {"cpu": ["ARM7TDMI", "ARM9TDMI"]}}
+        spec_file = self._write(tmp_path, payload)
+        store_dir = str(tmp_path / "store")
+        assert main(["campaign", spec_file, "--store", store_dir,
+                     "--json"]) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert len(cold["store_resume"]["executed"]) == 2
+        assert main(["campaign", spec_file, "--store", store_dir,
+                     "--resume", "--json"]) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["store_resume"]["executed"] == []
+        assert len(warm["store_resume"]["hits"]) == 2
+        assert warm["runs"] == cold["runs"]
+
+    def test_resume_requires_store(self, tmp_path):
+        spec_file = self._write(tmp_path, self.SPEC)
+        with pytest.raises(SystemExit, match="--store"):
+            main(["campaign", spec_file, "--resume"])
+
+    def test_store_ls_show_gc(self, tmp_path, capsys):
+        from repro.api import CampaignSpec, CampaignStore
+
+        store_dir = tmp_path / "store"
+        store = CampaignStore(store_dir)
+        spec = CampaignSpec(name="seeded", identities=2, poses=1,
+                            size=32, frames=1, levels=(1,))
+        key = store.put_campaign(spec, {"passed": True, "stages": {}})
+        store.put_campaign_failure(spec.replace(name="broken"),
+                                   RuntimeError("boom"))
+
+        assert main(["store", "ls", "--store", str(store_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "2 entries (1 ok, 1 failed)" in out
+        assert "seeded" in out and "broken" in out
+
+        assert main(["store", "ls", "--store", str(store_dir),
+                     "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema"] == "repro.store_listing/v1"
+        assert len(document["entries"]) == 2
+
+        assert main(["store", "show", key[:12], "--store",
+                     str(store_dir), "--json"]) == 0
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["key"] == key
+        assert envelope["status"] == "ok"
+
+        assert main(["store", "gc", "--store", str(store_dir),
+                     "--failed", "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["removed_failed"] == 1 and stats["kept"] == 1
+
+    def test_store_show_unknown_key(self, tmp_path):
+        from repro.api import CampaignStore
+
+        store_dir = tmp_path / "store"
+        CampaignStore(store_dir)
+        with pytest.raises(SystemExit, match="no store entry"):
+            main(["store", "show", "feedbeef", "--store", str(store_dir)])
+
+    def test_store_subcommand_requires_store_path(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["store", "ls"])
+
+    def test_store_version_mismatch_is_a_clean_error(self, tmp_path):
+        from repro.api import CampaignStore
+
+        store_dir = tmp_path / "store"
+        CampaignStore(store_dir)
+        manifest = json.loads((store_dir / "store.json").read_text())
+        manifest["version"] += 1
+        (store_dir / "store.json").write_text(json.dumps(manifest))
+        with pytest.raises(SystemExit, match="version"):
+            main(["store", "ls", "--store", str(store_dir)])
+
+    def test_store_subcommand_never_creates_a_store(self, tmp_path):
+        """A mistyped --store path errors instead of leaving an empty
+        store behind (only writers create stores)."""
+        missing = tmp_path / "campain-store"  # typo'd path
+        with pytest.raises(SystemExit, match="no campaign store"):
+            main(["store", "ls", "--store", str(missing)])
+        assert not missing.exists()
+
+    def test_flow_store_persists_level4(self, tmp_path, capsys):
+        """``flow --store`` leaves the level-4 artifact behind on disk."""
+        from repro.api import CampaignStore
+
+        store_dir = str(tmp_path / "store")
+        assert main(["flow", *SIM_WORKLOAD, "--store", store_dir]) == 0
+        capsys.readouterr()
+        rows = CampaignStore(store_dir).ls()
+        assert [row["kind"] for row in rows] == ["stage"]
+        assert rows[0]["name"] == "level4"
