@@ -1,0 +1,137 @@
+#!/usr/bin/env python
+"""CI smoke test of the campaign service, over real HTTP.
+
+Starts a :class:`~repro.service.CampaignService` daemon, submits one
+all-four-levels campaign per registered workload through the HTTP
+client, and requires every job to pass.  Then submits every spec a
+second time and requires the duplicates to be answered **entirely from
+the store** — zero points executed, 100% hits — which is the service's
+core economy: a verified spec is never verified twice.
+
+Usage::
+
+    PYTHONPATH=src python scripts/service_smoke.py --root service-root
+    PYTHONPATH=src python scripts/service_smoke.py --root service-root \
+        --workers 2 --json-out smoke.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.api import CampaignSpec
+from repro.service import CampaignService, ServiceClient
+from repro.workloads import workload_names
+
+#: One reduced-size, all-four-levels spec per built-in workload
+#: (mirrors scripts/nightly_sweep.py's sizing).
+SPECS = {
+    "facerec": CampaignSpec(name="smoke-facerec", identities=2, poses=1,
+                            size=32, frames=1),
+    "edgescan": CampaignSpec(name="smoke-edgescan", workload="edgescan",
+                             frames=1,
+                             params={"shapes": 2, "scales": 1, "size": 32}),
+    "blockcipher": CampaignSpec(name="smoke-blockcipher",
+                                workload="blockcipher", frames=2,
+                                params={"block_words": 8}),
+}
+
+
+def run_round(client: ServiceClient, label: str,
+              timeout: float) -> dict[str, dict]:
+    """Submit every spec, wait for all, return jobs keyed by workload."""
+    jobs = {}
+    for workload, spec in SPECS.items():
+        job = client.submit(spec.to_dict())
+        print(f"[{label}] submitted {workload}: {job['id'][:12]} "
+              f"({job['status']})")
+        jobs[workload] = job
+    done = {}
+    for workload, job in jobs.items():
+        record = client.wait(job["id"], timeout=timeout, interval=0.5,
+                             payload=False)
+        resume = (record.get("result") or {}).get("store_resume", {})
+        print(f"[{label}] {workload}: {record['status']} "
+              f"(hits={len(resume.get('hits', ()))}, "
+              f"executed={len(resume.get('executed', ()))})")
+        done[workload] = record
+    return done
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", required=True, metavar="DIR",
+                        help="service root directory (store/ + queue/)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker threads (default: available CPUs)")
+    parser.add_argument("--timeout", type=float, default=1200.0,
+                        help="per-job wait deadline in seconds")
+    parser.add_argument("--json-out", metavar="FILE",
+                        help="write the summary document to FILE")
+    args = parser.parse_args(argv)
+
+    missing = set(SPECS) - set(workload_names())
+    if missing:
+        print(f"FAILURE: workloads not registered: {sorted(missing)}")
+        return 1
+
+    summary = {"schema": "repro.service_smoke/v1", "rounds": {}}
+    failures: list[str] = []
+    with CampaignService(args.root, workers=args.workers) as service:
+        client = ServiceClient(service.url)
+        print(f"daemon at {service.url} "
+              f"({service.pool.workers} workers)\n")
+
+        start = time.perf_counter()
+        cold = run_round(client, "cold", args.timeout)
+        cold_s = time.perf_counter() - start
+        for workload, record in cold.items():
+            if record["status"] != "done" or not record["result"]["passed"]:
+                failures.append(f"{workload}: cold job "
+                                f"{record['status']} ({record['error']})")
+
+        print()
+        start = time.perf_counter()
+        warm = run_round(client, "warm", args.timeout)
+        warm_s = time.perf_counter() - start
+        for workload, record in warm.items():
+            if record["status"] != "done" or not record["result"]["passed"]:
+                failures.append(f"{workload}: warm job {record['status']}")
+                continue
+            resume = record["result"]["store_resume"]
+            if resume["executed"] or not resume["hits"]:
+                failures.append(
+                    f"{workload}: duplicate submission recomputed "
+                    f"{resume['executed']} instead of answering from "
+                    f"the store")
+
+        stats = client.stats()
+        print(f"\ncold round: {cold_s:.1f}s; warm round: {warm_s:.1f}s")
+        print(f"store: {stats['store']}")
+        print(f"workers: {stats['workers']}")
+        summary["rounds"] = {
+            "cold": {"seconds": cold_s,
+                     "jobs": {w: r["status"] for w, r in cold.items()}},
+            "warm": {"seconds": warm_s,
+                     "jobs": {w: r["status"] for w, r in warm.items()}},
+        }
+        summary["stats"] = stats
+
+    if args.json_out:
+        with open(args.json_out, "w") as stream:
+            json.dump(summary, stream, indent=2, sort_keys=True)
+        print(f"summary written to {args.json_out}")
+    if failures:
+        print("\nFAILURE:")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    print("\nservice smoke: all workloads verified, duplicates served warm")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,7 @@ own process and the results are merged from their ``to_dict`` payloads.
 from __future__ import annotations
 
 import itertools
+import logging
 import time as _time
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Optional, Sequence
@@ -20,6 +21,8 @@ from typing import Any, Mapping, Optional, Sequence
 from repro.api.session import Session
 from repro.api.spec import ALL_LEVELS, CampaignSpec
 from repro.api.stages import LEVEL_STAGES, StageResult
+
+logger = logging.getLogger("repro.campaign")
 
 
 def _gate_level1(result) -> bool:
@@ -92,13 +95,43 @@ class CampaignOutcome:
 
 
 def _available_cpus() -> int:
-    """CPUs actually usable by this process (affinity-aware)."""
+    """CPUs actually usable by this process (affinity-aware).
+
+    A ``REPRO_JOBS`` environment variable overrides the detected count
+    (clamped to >= 1): cgroup-limited CI runners whose quota is invisible
+    to ``sched_getaffinity`` — and the service worker pool — pin their
+    concurrency with it instead of patching code.
+    """
     import os
 
+    override = os.environ.get("REPRO_JOBS", "").strip()
+    if override:
+        try:
+            return max(1, int(override))
+        except ValueError:
+            raise ValueError(
+                f"REPRO_JOBS must be an integer, got {override!r}") from None
     try:
         return len(os.sched_getaffinity(0))
     except AttributeError:  # pragma: no cover (non-Linux)
         return os.cpu_count() or 1
+
+
+def fork_context():
+    """The multiprocessing context campaign children run under.
+
+    Prefer fork where available: workers inherit the parent's workload
+    registry, so runtime-registered custom workloads run correctly.
+    Under spawn (Windows), workloads must be registered at import time
+    of an importable module.  Shared by the sweep pool and the service
+    worker pool so the policy can only change in one place.
+    """
+    import multiprocessing
+
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover (no fork on platform)
+        return multiprocessing.get_context()
 
 
 class SweepPointError(RuntimeError):
@@ -303,31 +336,25 @@ class Campaign:
         for spec in specs:
             # Every grid key is set explicitly at every point, so deriving
             # from the previous point leaves no stale grid field behind.
-            if session is None:
-                session = Session(spec)
-            else:
-                session = session.with_spec(
-                    name=spec.name, **{k: getattr(spec, k) for k in grid})
+            # Session construction is inside the try: a point whose spec
+            # validates but whose session cannot build (unknown CPU, bad
+            # workload state) is still named by SweepPointError.
             try:
+                if session is None:
+                    session = Session(spec)
+                else:
+                    session = session.with_spec(
+                        name=spec.name, **{k: getattr(spec, k) for k in grid})
                 outcomes.append(cls(session.spec).run(session=session))
             except Exception as exc:
-                raise SweepPointError.wrap(session.spec, exc) from exc
+                raise SweepPointError.wrap(spec, exc) from exc
         return SweepResult(base=base, grid=grid_doc, outcomes=outcomes)
 
     @staticmethod
     def _pool_payloads(specs: Sequence[CampaignSpec], jobs: int,
                        store_root: Optional[str] = None) -> list[dict]:
         """Run ``specs`` over a fork pool, returning outcome payloads."""
-        import multiprocessing
-
-        # Prefer fork where available: workers inherit the parent's
-        # workload registry, so runtime-registered custom workloads
-        # sweep correctly.  Under spawn (Windows), workloads must be
-        # registered at import time of an importable module.
-        try:
-            ctx = multiprocessing.get_context("fork")
-        except ValueError:  # pragma: no cover (no fork on platform)
-            ctx = multiprocessing.get_context()
+        ctx = fork_context()
         processes = max(1, min(jobs, len(specs), _available_cpus()))
         with ctx.Pool(processes=processes) as pool:
             return pool.starmap(
@@ -361,17 +388,31 @@ class Campaign:
             session: Optional[Session] = None
             for index in pending:
                 spec = specs[index]
-                if session is None:
-                    session = Session(spec, store=store)
-                else:
-                    session = session.with_spec(
-                        name=spec.name, **{k: getattr(spec, k) for k in grid})
+                try:
+                    if session is None:
+                        session = Session(spec, store=store)
+                    else:
+                        session = session.with_spec(
+                            name=spec.name,
+                            **{k: getattr(spec, k) for k in grid})
+                except Exception as exc:
+                    # A point whose *session* cannot build still records
+                    # its failure envelope, so a resumed sweep retries it.
+                    store.put_campaign_failure(spec, exc)
+                    raise SweepPointError.wrap(spec, exc) from exc
                 try:
                     _outcome, payload = run_recorded(session.spec, store,
                                                      session=session)
                 except Exception as exc:
                     raise SweepPointError.wrap(session.spec, exc) from exc
                 slots[index] = payload
+        if resume:
+            # One auditable line per resumed sweep: nightly CI logs show
+            # at a glance whether the store was warm or work happened.
+            logger.info(
+                "sweep %r resumed: %d/%d points merged from store, "
+                "%d executed (%d retried failures)", base.name,
+                len(hits), len(specs), len(executed), len(retried))
         return SweepResult(base=base, grid=grid_doc, outcomes=[],
                            payloads=slots, jobs=jobs, store_hits=hits,
                            executed=executed, retried=retried,

@@ -10,7 +10,9 @@ the pluggable :mod:`repro.workloads` registry:
   (single run or grid sweep, optionally parallel with ``--jobs``);
 - ``workloads`` — list the registered workloads;
 - ``store``     — inspect/maintain a content-addressed campaign store
-  (``ls``/``show``/``gc``);
+  (``ls``/``show``/``gc``, with ``gc --dry-run`` previewing deletions);
+- ``service``   — the campaign service daemon and its HTTP client
+  (``start``/``submit``/``status``/``watch``);
 - ``explore``   — the level-2 architecture exploration sweep;
 - ``verify``    — the level-1 LPV deadlock proof;
 - ``wave``      — synthesise the ROOT module, run it, dump a VCD trace.
@@ -122,12 +124,7 @@ def cmd_flow(args) -> int:
 
 
 def cmd_campaign(args) -> int:
-    with open(args.spec_file) as stream:
-        payload = json.load(stream)
-    sweep_grid = None
-    if isinstance(payload, dict) and "sweep" in payload:
-        sweep_grid = payload["sweep"]
-        payload = payload.get("spec", {})
+    payload, sweep_grid = _load_submission(args.spec_file)
     spec = CampaignSpec.from_dict(payload)
     store = _open_store(args)
     if args.resume and store is None:
@@ -171,9 +168,18 @@ def cmd_store(args) -> int:
     except (FileNotFoundError, ValueError) as exc:
         raise SystemExit(str(exc))
     if args.store_command == "ls":
+        from repro.serialize import VOLATILE_KEYS, canonical_document
+
         rows = store.ls()
-        _emit(args, {"schema": "repro.store_listing/v1",
-                     "store": str(store.root), "entries": rows},
+        # --json emits the *canonical* listing: sorted keys, volatile
+        # created_at stripped, and the entry-file byte size too (it
+        # shifts with the stripped timestamp's digit count).  Listings
+        # of equivalent stores then diff clean, modulo the queried
+        # ``store`` path itself.
+        _emit(args, canonical_document({"schema": "repro.store_listing/v1",
+                                        "store": str(store.root),
+                                        "entries": rows},
+                                       volatile=VOLATILE_KEYS | {"bytes"}),
               store.describe(rows))
         return 0
     if args.store_command == "show":
@@ -185,15 +191,134 @@ def cmd_store(args) -> int:
         _emit(args, envelope, text)
         return 0
     # gc
-    stats = store.gc(failed=args.failed)
+    stats = store.gc(failed=args.failed, dry_run=args.dry_run)
     document = {"schema": "repro.store_gc/v1", "store": str(store.root),
                 **stats}
-    text = (f"gc {store.root}: removed {stats['removed_tmp']} temp files, "
+    verb = "would remove" if args.dry_run else "removed"
+    text = (f"gc {store.root}: {verb} {stats['removed_tmp']} temp files, "
             f"{stats['removed_corrupt']} corrupt entries, "
             f"{stats['removed_failed']} failed entries; "
             f"{stats['kept']} entries kept")
+    if args.dry_run and stats["candidates"]:
+        text += "\n" + "\n".join(f"  {path}" for path in stats["candidates"])
     _emit(args, document, text)
     return 0
+
+
+def _job_text(job: dict) -> str:
+    """One job record as operator-facing prose."""
+    lines = [f"job {job['id'][:12]} {job['status'].upper()}  "
+             f"{job['kind']} {job['name']!r} "
+             f"(workload={job['workload']}, priority={job['priority']}, "
+             f"attempts={job['attempts']})"]
+    result = job.get("result")
+    if result:
+        resume = result.get("store_resume", {})
+        verdict = "PASSED" if result.get("passed") else "FAILED"
+        lines.append(
+            f"  {verdict}: {result.get('points', 0)} points "
+            f"({len(resume.get('hits', ()))} from store, "
+            f"{len(resume.get('executed', ()))} executed, "
+            f"{len(resume.get('retried', ()))} retried)")
+    error = job.get("error")
+    if error:
+        lines.append(f"  error: {error['type']}: {error['message']}")
+    return "\n".join(lines)
+
+
+def _load_submission(spec_file: str) -> tuple[dict, Optional[dict]]:
+    """A campaign file: bare spec document or ``{"spec", "sweep"}``.
+
+    The one definition of the file format both ``repro campaign`` and
+    ``repro service submit`` accept.
+    """
+    with open(spec_file) as stream:
+        payload = json.load(stream)
+    if isinstance(payload, dict) and "sweep" in payload:
+        return payload.get("spec", {}), payload["sweep"]
+    return payload, None
+
+
+def cmd_service(args) -> int:
+    from repro.service import ServiceClient, ServiceError
+
+    if args.service_command == "start":
+        from repro.service import CampaignService
+
+        try:
+            service = CampaignService(args.root, host=args.host,
+                                      port=args.port, workers=args.workers,
+                                      job_timeout=args.job_timeout)
+        except (RuntimeError, ValueError, OSError) as exc:
+            # Root already served by another daemon, port in use, bad
+            # --workers, or a queue/store version mismatch: one clean
+            # line, not a traceback.
+            raise SystemExit(str(exc))
+        service.start()
+        print(f"campaign service at {service.url} "
+              f"({service.pool.workers} workers, root {service.root})")
+        if service.recovered:
+            print(f"recovered {len(service.recovered)} interrupted jobs: "
+                  + ", ".join(job_id[:12] for job_id in service.recovered))
+        try:
+            import threading
+
+            threading.Event().wait()  # serve until interrupted
+        except KeyboardInterrupt:
+            print("shutting down (waiting for in-flight jobs)")
+        finally:
+            service.stop()
+        return 0
+
+    client = ServiceClient(args.url)
+    try:
+        if args.service_command == "submit":
+            spec_doc, sweep = _load_submission(args.spec_file)
+            job = client.submit(spec_doc, sweep=sweep,
+                                priority=args.priority, jobs=args.jobs)
+            note = " (coalesced onto existing job)" if job.get("coalesced") \
+                else ""
+            if not args.watch:
+                _emit(args, job, _job_text(job) + note)
+                return 0
+            # --json --watch emits exactly one document (the terminal
+            # record), keeping the one-document-per-invocation contract;
+            # prose mode narrates both the submission and the outcome.
+            if not args.json:
+                print(_job_text(job) + note)
+            job = client.wait(job["id"], timeout=args.timeout,
+                              interval=args.interval)
+            _emit(args, job, _job_text(job))
+            return 0 if job["status"] == "done" and \
+                job["result"]["passed"] else 1
+        if args.service_command == "status":
+            if args.job:
+                # The server resolves unique id prefixes.
+                job = client.get(args.job)
+                _emit(args, job, _job_text(job))
+                return 0
+            stats = client.stats()
+            by_status = stats["queue"]["by_status"]
+            workers = stats["workers"]
+            counts = ", ".join(f"{n} {s}"
+                               for s, n in sorted(by_status.items()) if n)
+            text = f"queue: {counts or 'empty'}"
+            text += (f"\nworkers: {workers['busy']}/{workers['total']} busy, "
+                     f"{workers['jobs_done']} jobs done, "
+                     f"{workers['jobs_failed']} failed"
+                     f"\npoints: {workers['points_hit']} store hits, "
+                     f"{workers['points_executed']} executed, "
+                     f"{workers['points_retried']} retried")
+            _emit(args, stats, text)
+            return 0
+        # watch
+        job = client.wait(args.job, timeout=args.timeout,
+                          interval=args.interval)
+        _emit(args, job, _job_text(job))
+        return 0 if job["status"] == "done" and job["result"]["passed"] \
+            else 1
+    except (ServiceError, TimeoutError) as exc:
+        raise SystemExit(str(exc))
 
 
 def cmd_workloads(args) -> int:
@@ -312,11 +437,67 @@ def build_parser() -> argparse.ArgumentParser:
         "--failed", action="store_true",
         help="also remove failure entries (their points will re-run "
              "on the next resumed sweep)")
+    p_store_gc.add_argument(
+        "--dry-run", action="store_true",
+        help="print what would be deleted, delete nothing")
     for p_sub in (p_store_ls, p_store_show, p_store_gc):
         p_sub.add_argument("--store", metavar="PATH", required=True,
                            help="campaign store directory")
         _add_json_arg(p_sub)
         p_sub.set_defaults(func=cmd_store)
+
+    p_service = sub.add_parser(
+        "service", help="run or talk to the campaign service daemon")
+    service_sub = p_service.add_subparsers(dest="service_command",
+                                           required=True)
+    p_svc_start = service_sub.add_parser(
+        "start", help="run the daemon (queue + workers + HTTP API)")
+    p_svc_start.add_argument("--root", required=True, metavar="DIR",
+                             help="service root (holds store/ and queue/)")
+    p_svc_start.add_argument("--host", default="127.0.0.1",
+                             help="bind address (default: 127.0.0.1)")
+    p_svc_start.add_argument("--port", type=int, default=8642,
+                             help="bind port; 0 picks an ephemeral port")
+    p_svc_start.add_argument("--workers", type=int, default=None, metavar="N",
+                             help="worker threads (default: available CPUs; "
+                                  "REPRO_JOBS env overrides detection)")
+    p_svc_start.add_argument("--job-timeout", type=float, default=None,
+                             metavar="SECONDS",
+                             help="kill any job still running after this "
+                                  "long (default: unlimited)")
+    p_svc_start.set_defaults(func=cmd_service)
+    p_svc_submit = service_sub.add_parser(
+        "submit", help="submit a campaign spec file over HTTP")
+    p_svc_submit.add_argument(
+        "spec_file",
+        help="JSON file: a campaign spec document, or "
+             '{"spec": {...}, "sweep": {field: [values, ...]}}')
+    p_svc_submit.add_argument("--priority", type=int, default=0,
+                              help="queue priority (higher runs first)")
+    p_svc_submit.add_argument("--jobs", type=int, default=1, metavar="N",
+                              help="worker processes within the job's sweep")
+    p_svc_submit.add_argument("--watch", action="store_true",
+                              help="poll until the job finishes; exit 0 "
+                                   "only if it passed")
+    p_svc_status = service_sub.add_parser(
+        "status", help="one job's record, or service stats without a job")
+    p_svc_status.add_argument("job", nargs="?", default=None,
+                              help="job id (unique prefix ok); omit for "
+                                   "service-wide stats")
+    p_svc_watch = service_sub.add_parser(
+        "watch", help="poll one job to completion")
+    p_svc_watch.add_argument("job", help="job id (unique prefix ok)")
+    for p_sub in (p_svc_submit, p_svc_status, p_svc_watch):
+        p_sub.add_argument("--url", default="http://127.0.0.1:8642",
+                           help="service endpoint "
+                                "(default: http://127.0.0.1:8642)")
+        _add_json_arg(p_sub)
+        p_sub.set_defaults(func=cmd_service)
+    for p_sub in (p_svc_submit, p_svc_watch):
+        p_sub.add_argument("--timeout", type=float, default=600.0,
+                           help="seconds to wait before giving up")
+        p_sub.add_argument("--interval", type=float, default=0.5,
+                           help="poll interval in seconds")
 
     p_workloads = sub.add_parser("workloads",
                                  help="list the registered workloads")

@@ -58,10 +58,13 @@ def json_safe(value: Any) -> Any:
 #: store equality are all asserted on.  ``from_store``/``store_resume``
 #: record whether a result was recomputed or reloaded from a
 #: :class:`repro.store.CampaignStore`; ``created_at`` stamps store entry
-#: envelopes.  None of them may enter result equality.
+#: envelopes; ``submitted_at``/``started_at``/``finished_at``/``worker``/
+#: ``uptime_seconds`` are the :mod:`repro.service` job-queue and stats
+#: timing fields.  None of them may enter result equality.
 VOLATILE_KEYS = frozenset({"wall_seconds", "sim_speed_ratio", "jobs",
                            "from_cache", "from_store", "store_resume",
-                           "created_at"})
+                           "created_at", "submitted_at", "started_at",
+                           "finished_at", "worker", "uptime_seconds"})
 
 
 def canonical_document(document: Any,

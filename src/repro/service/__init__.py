@@ -1,0 +1,53 @@
+"""repro.service — verification campaigns as a long-lived service.
+
+The CLI runs one campaign in one foreground process; this package runs
+them as a daemon a whole team (or a CI fleet) submits work to:
+
+- :mod:`repro.service.queue` — a durable, content-addressed job queue
+  persisted next to the :class:`~repro.store.CampaignStore`.  Jobs are
+  keyed by the hash of their request document, so duplicate submissions
+  coalesce onto one execution; states journal atomically through
+  temp+rename writes and interrupted jobs re-queue on daemon restart.
+- :mod:`repro.service.workers` — a bounded worker pool draining the
+  queue through the existing :class:`~repro.api.campaign.Campaign`
+  machinery, one child process per job so a crashing campaign never
+  takes the daemon down.
+- :mod:`repro.service.http` — a stdlib-only (``http.server``) JSON API:
+  ``POST /v1/jobs``, ``GET /v1/jobs[/<id>]``, ``DELETE /v1/jobs/<id>``,
+  ``GET /v1/healthz`` and ``GET /v1/stats``.
+- :mod:`repro.service.daemon` — :class:`CampaignService`, wiring store +
+  queue + pool + HTTP server into one object the ``repro service start``
+  CLI (and the tests) run.
+- :mod:`repro.service.client` — :class:`ServiceClient`, the small
+  ``urllib``-based client the CLI subcommands, the examples and the CI
+  smoke test submit through.
+
+Every result payload served by the API comes straight from the campaign
+store: the queue records *where* a result lives (content addresses), not
+the result itself, so a repeat submission of an already-verified spec is
+answered warm with zero recomputation.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.daemon import CampaignService
+from repro.service.queue import (
+    JOB_SCHEMA,
+    JOB_STATES,
+    TERMINAL_STATES,
+    JobQueue,
+    job_key,
+)
+from repro.service.workers import WorkerCrash, WorkerPool
+
+__all__ = [
+    "CampaignService",
+    "JOB_SCHEMA",
+    "JOB_STATES",
+    "JobQueue",
+    "ServiceClient",
+    "ServiceError",
+    "TERMINAL_STATES",
+    "WorkerCrash",
+    "WorkerPool",
+    "job_key",
+]

@@ -1,0 +1,135 @@
+"""A small ``urllib``-based client for the campaign service API.
+
+Used by the ``repro service submit|status|watch`` CLI subcommands, the
+examples and the CI smoke test — anything that talks to a running
+:class:`~repro.service.daemon.CampaignService` over HTTP.  No third-party
+dependencies, mirroring the server side.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Mapping, Optional
+
+from repro.service.queue import TERMINAL_STATES
+
+
+class ServiceError(RuntimeError):
+    """An error response from the service (or no response at all)."""
+
+    def __init__(self, status: int, kind: str, message: str):
+        super().__init__(f"{kind} (HTTP {status}): {message}")
+        self.status = status
+        self.kind = kind
+
+
+class ServiceClient:
+    """One service endpoint, e.g. ``ServiceClient("http://127.0.0.1:8642")``."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport ----------------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Mapping[str, Any]] = None) -> dict:
+        request = urllib.request.Request(
+            f"{self.base_url}{path}", method=method,
+            headers={"Content-Type": "application/json"},
+            data=(json.dumps(body).encode("utf-8")
+                  if body is not None else None))
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                error = json.loads(exc.read().decode("utf-8"))["error"]
+            except (ValueError, KeyError, UnicodeDecodeError):
+                error = {"type": "HTTPError", "message": str(exc)}
+            raise ServiceError(exc.code, error.get("type", "HTTPError"),
+                               error.get("message", "")) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(0, "Unreachable",
+                               f"{self.base_url}: {exc.reason}") from None
+
+    # -- API ----------------------------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/v1/healthz")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/v1/stats")
+
+    def submit(self, spec: Mapping[str, Any],
+               sweep: Optional[Mapping[str, list]] = None,
+               priority: int = 0, jobs: int = 1) -> dict:
+        """POST one submission; returns the job record (+ ``coalesced``)."""
+        body: dict[str, Any] = {"spec": dict(spec)}
+        if sweep is not None:
+            body["sweep"] = {key: list(values)
+                             for key, values in sweep.items()}
+        if priority:
+            body["priority"] = priority
+        if jobs != 1:
+            body["jobs"] = jobs
+        return self._request("POST", "/v1/jobs", body)
+
+    def get(self, job_id: str, payload: bool = True) -> dict:
+        suffix = "" if payload else "?payload=0"
+        return self._request("GET", f"/v1/jobs/{job_id}{suffix}")
+
+    def jobs(self, status: Optional[str] = None,
+             workload: Optional[str] = None) -> list[dict]:
+        query = "&".join(f"{key}={value}" for key, value in
+                         (("status", status), ("workload", workload))
+                         if value is not None)
+        path = f"/v1/jobs?{query}" if query else "/v1/jobs"
+        return self._request("GET", path)["jobs"]
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("DELETE", f"/v1/jobs/{job_id}")
+
+    def prune(self, keep_last: int = 0) -> dict:
+        """Drop terminal job records server-side (results stay stored)."""
+        return self._request("POST", f"/v1/prune?keep_last={keep_last}", {})
+
+    def wait(self, job_id: str, timeout: float = 600.0,
+             interval: float = 0.2, payload: bool = True) -> dict:
+        """Poll until the job reaches a terminal state; return its record.
+
+        Raises :class:`TimeoutError` (naming the job and its last seen
+        state) if the deadline passes first.  Waiting never raises on a
+        *failed* job — the caller inspects ``status``/``error``.  With
+        ``payload=True`` the returned record always carries a
+        ``"payload"`` key, but its value can be None: for failed jobs,
+        when the store was gc'd underneath a done job, or when a
+        concurrent resubmission re-queued the job between the status
+        poll and the payload fetch.
+        """
+        deadline = time.monotonic() + timeout
+        job = self.get(job_id, payload=False)
+        # Poll with the record's full id: a prefix would pay the
+        # server's whole-directory resolve scan on every iteration.
+        job_id = job["id"]
+        while job["status"] not in TERMINAL_STATES:
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id[:12]} still {job['status']!r} after "
+                    f"{timeout:.0f}s")
+            time.sleep(interval)
+            job = self.get(job_id, payload=False)
+        if payload:
+            final = self.get(job_id, payload=True)
+            # A concurrent re-submission of the same content-addressed
+            # spec can re-queue the job between the two GETs; honour the
+            # terminal record we already observed rather than returning
+            # a non-terminal one.
+            if final["status"] in TERMINAL_STATES:
+                job = final
+            job.setdefault("payload", None)
+        return job

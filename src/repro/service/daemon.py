@@ -1,0 +1,259 @@
+"""The campaign service daemon: store + queue + worker pool + HTTP.
+
+:class:`CampaignService` owns one service *root* directory::
+
+    <root>/store/   the :class:`~repro.store.CampaignStore` (results)
+    <root>/queue/   the :class:`~repro.service.queue.JobQueue` (jobs)
+
+On construction it recovers interrupted jobs (re-queueing anything left
+``running`` by a dead daemon), and on :meth:`start` it spins up the
+worker pool and the HTTP server.  All request-side logic the HTTP layer
+needs — submission validation, job documents with their store-served
+payloads, the stats document — lives here so the handler stays a thin
+routing shim and the tests (and the in-process example) can drive the
+service without sockets.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from pathlib import Path
+from typing import Any, Mapping, Optional
+
+from repro.api.campaign import Campaign
+from repro.api.spec import CampaignSpec
+from repro.service.queue import JobQueue, job_summary
+from repro.service.workers import WorkerPool
+from repro.store import CampaignStore
+from repro.workloads import registry_info
+
+#: Schema tags of the service's own HTTP documents.
+HEALTH_SCHEMA = "repro.service_health/v1"
+STATS_SCHEMA = "repro.service_stats/v1"
+JOBS_SCHEMA = "repro.service_jobs/v1"
+
+
+class SubmissionError(ValueError):
+    """A submission document that cannot become a job (HTTP 400)."""
+
+
+class CampaignService:
+    """One long-lived campaign-serving daemon."""
+
+    def __init__(self, root, host: str = "127.0.0.1", port: int = 0,
+                 workers: Optional[int] = None,
+                 job_timeout: Optional[float] = None):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        # One daemon per root: an advisory flock held for the daemon's
+        # lifetime.  A second start errors out instead of recover()ing
+        # (and thereby hijacking) the live daemon's running jobs; the
+        # lock dies with the process, so an unclean crash never blocks
+        # the restart that recovery exists for.
+        self._lock_file = open(self.root / "daemon.lock", "w")
+        try:
+            import fcntl
+
+            fcntl.flock(self._lock_file, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except ImportError:  # pragma: no cover (non-Unix: advisory only)
+            pass
+        except OSError:
+            self._lock_file.close()
+            raise RuntimeError(
+                f"another campaign service is already running on "
+                f"{self.root} (daemon.lock is held); stop it first or "
+                f"use a different --root") from None
+        self.store = CampaignStore(self.root / "store")
+        self.queue = JobQueue(self.root / "queue")
+        #: jobs re-queued on startup after an unclean shutdown
+        self.recovered: list[str] = self.queue.recover()
+        self.pool = WorkerPool(self.queue, str(self.store.root),
+                               workers=workers, job_timeout=job_timeout)
+        self.started_at = time.time()
+        from repro.service.http import build_server
+
+        self.server = build_server(self, host, port)
+        self._http_thread: Optional[threading.Thread] = None
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    @property
+    def url(self) -> str:
+        host, port = self.server.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start(self, workers: bool = True) -> "CampaignService":
+        """Serve HTTP on a background thread; optionally start workers.
+
+        ``workers=False`` leaves the queue undrained — the tests use it
+        to observe queued-state behaviour (coalescing, cancellation)
+        deterministically.
+        """
+        if workers:
+            self.pool.start()
+        self._http_thread = threading.Thread(
+            target=self.server.serve_forever,
+            name="repro-service-http", daemon=True)
+        self._http_thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the HTTP server down and let in-flight jobs finish."""
+        self.server.shutdown()
+        self.server.server_close()
+        if self._http_thread is not None:
+            self._http_thread.join()
+            self._http_thread = None
+        if self.pool.running:
+            self.pool.stop(wait=True)
+        if not self._lock_file.closed:
+            self._lock_file.close()  # releases the root's daemon.lock
+
+    def __enter__(self) -> "CampaignService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- submissions --------------------------------------------------------------
+
+    def submit_document(self, body: Mapping[str, Any]) -> tuple[dict, bool]:
+        """Validate one POST body into a queued job.
+
+        Accepts either a bare campaign-spec document or the envelope the
+        ``campaign`` CLI already reads: ``{"spec": {...}, "sweep":
+        {field: [values, ...]}, "priority": N, "jobs": N}``.  Returns
+        ``(record, coalesced)``; raises :class:`SubmissionError` with a
+        client-facing message on anything malformed.
+        """
+        if not isinstance(body, Mapping):
+            raise SubmissionError("submission body must be a JSON object")
+        payload = dict(body)
+        spec_doc = payload.pop("spec", None)
+        if spec_doc is None:
+            spec_doc, payload = payload, {}
+        sweep = payload.pop("sweep", None)
+        priority = payload.pop("priority", 0)
+        jobs = payload.pop("jobs", 1)
+        unknown = set(payload)
+        if unknown:
+            raise SubmissionError(
+                f"unknown submission fields: {sorted(unknown)} "
+                f"(expected spec/sweep/priority/jobs)")
+        if not isinstance(priority, int) or isinstance(priority, bool):
+            raise SubmissionError("priority must be an integer")
+        if not isinstance(jobs, int) or isinstance(jobs, bool) or jobs < 1:
+            raise SubmissionError("jobs must be an integer >= 1")
+        try:
+            spec = CampaignSpec.from_dict(spec_doc)
+        except (ValueError, KeyError, TypeError) as exc:
+            raise SubmissionError(f"invalid campaign spec: {exc}") from exc
+        if sweep is not None:
+            if (not isinstance(sweep, Mapping) or not sweep
+                    or not all(isinstance(values, list) and values
+                               for values in sweep.values())):
+                raise SubmissionError(
+                    "sweep must map spec fields to non-empty value lists")
+            try:
+                # Expanding validates every grid point (unknown fields,
+                # out-of-range values) before anything is queued.
+                Campaign.sweep_specs(spec, sweep)
+            except (ValueError, KeyError, TypeError) as exc:
+                raise SubmissionError(f"invalid sweep grid: {exc}") from exc
+        return self.queue.submit(spec, sweep=sweep, priority=priority,
+                                 jobs=jobs)
+
+    # -- reads --------------------------------------------------------------------
+
+    def job_document(self, job_id: str, payload: bool = True) -> dict:
+        """One job record, with its result payload served from the store.
+
+        The queue only records *where* results live; a ``done`` job's
+        payload is reassembled here — the single-run outcome document
+        straight from the store entry, or the sweep document rebuilt
+        from the per-point entries in grid order (byte-identical, minus
+        volatile keys, to the same sweep run directly).
+        """
+        job = self.queue.get(job_id)
+        if job is None:
+            raise KeyError(f"no job {job_id!r}")
+        document = dict(job)
+        if payload and job["status"] == "done":
+            document["payload"] = self._result_payload(job)
+        return document
+
+    def _result_payload(self, job: dict) -> Optional[dict]:
+        spec = CampaignSpec.from_dict(job["spec"])
+        if not job.get("sweep"):
+            entry = self.store.get_campaign(spec)
+            if entry is None or entry["status"] != "ok":
+                return None
+            return entry["payload"]
+        grid = job["sweep"]
+        runs = []
+        for point in Campaign.sweep_specs(spec, grid):
+            entry = self.store.get_campaign(point)
+            if entry is None or entry["status"] != "ok":
+                return None  # store gc'd under a done job: no payload
+            runs.append(entry["payload"])
+        result = job.get("result") or {}
+        return {
+            "schema": "repro.campaign_sweep/v1",
+            "base": spec.to_dict(),
+            "grid": {key: list(values) for key, values in grid.items()},
+            "jobs": job.get("jobs", 1),
+            "passed": all(run["passed"] for run in runs),
+            "runs": runs,
+            "store_resume": result.get("store_resume",
+                                       {"hits": [], "executed": [],
+                                        "retried": []}),
+        }
+
+    def list_jobs(self, status: Optional[str] = None,
+                  workload: Optional[str] = None) -> dict:
+        return {
+            "schema": JOBS_SCHEMA,
+            "jobs": [job_summary(job)
+                     for job in self.queue.list(status=status,
+                                                workload=workload)],
+        }
+
+    def health(self) -> dict:
+        return {
+            "schema": HEALTH_SCHEMA,
+            "ok": True,
+            "workers": self.pool.workers,
+            "queue_depth": self.queue.depth(),
+        }
+
+    def stats(self) -> dict:
+        """The operator dashboard document (``GET /v1/stats``)."""
+        queue = self.queue.stats()
+        workloads = {}
+        for name, info in registry_info().items():
+            workloads[name] = {
+                **info,
+                "jobs": queue["by_workload"].get(
+                    name, {}),
+            }
+        # Workloads seen in the queue but registered elsewhere (custom
+        # registrations in a previous daemon) still get their counters.
+        for name, counters in queue["by_workload"].items():
+            workloads.setdefault(name, {"jobs": counters})
+        return {
+            "schema": STATS_SCHEMA,
+            "queue": {"depth": queue["depth"],
+                      "by_status": queue["by_status"]},
+            "workers": self.pool.stats(),
+            # Campaign execution happens in worker *children* (their
+            # store traffic is the pool's points_* counters above); the
+            # daemon's own handle only serves payload reads, so report
+            # it as exactly that plus the on-disk entry count.
+            "store": {"entries": len(self.store.keys()),
+                      "payload_reads": self.store.hits,
+                      "payload_read_misses": self.store.misses},
+            "workloads": workloads,
+            "recovered": list(self.recovered),
+            "uptime_seconds": time.time() - self.started_at,
+        }

@@ -1,0 +1,225 @@
+"""The service's HTTP JSON API — stdlib only (``http.server``).
+
+Routes (all under ``/v1``, all JSON in and out)::
+
+    POST   /v1/jobs          submit a spec (or {"spec", "sweep", "priority",
+                             "jobs"}); 201 on a new/re-queued job, 200 when
+                             the submission coalesced onto an existing one
+    GET    /v1/jobs          list jobs; ?status=queued&workload=facerec
+    GET    /v1/jobs/<id>     one job (unique id prefixes accepted);
+                             done jobs carry their result payload served
+                             straight from the campaign store
+                             (?payload=0 to omit it)
+    DELETE /v1/jobs/<id>     cancel a *queued* job (409 otherwise)
+    POST   /v1/prune         drop terminal job records (?keep_last=N);
+                             results stay in the store — a pruned spec
+                             re-queues warm on its next submission
+    GET    /v1/healthz       liveness + queue depth
+    GET    /v1/stats         queue/worker/store/per-workload counters
+
+Errors are ``{"error": {"type": ..., "message": ...}}`` with the obvious
+status codes (400 malformed, 404 unknown, 409 conflict).  The server is
+a ``ThreadingHTTPServer``: requests are served concurrently with each
+other and with the worker pool, which is safe because every queue
+mutation goes through :class:`~repro.service.queue.JobQueue`'s lock and
+every store read is of immutable content-addressed entries.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
+
+from repro.service.daemon import SubmissionError
+
+logger = logging.getLogger("repro.service")
+
+#: Largest request body accepted, to keep a stray client from ballooning
+#: the daemon (a full sweep submission is a few KB).
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+class ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Thin routing shim over :class:`CampaignService`."""
+
+    server_version = "repro-service/1"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self):
+        return self.server.service  # type: ignore[attr-defined]
+
+    # -- response plumbing --------------------------------------------------------
+
+    def _send_json(self, code: int, document: dict) -> None:
+        body = json.dumps(document, indent=2, sort_keys=True).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, code: int, kind: str, message: str) -> None:
+        self._send_json(code, {"error": {"type": kind, "message": message}})
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        logger.debug("%s - %s", self.address_string(), format % args)
+
+    def _read_body(self) -> dict:
+        try:
+            length = int(self.headers.get("Content-Length", 0) or 0)
+        except ValueError:
+            raise SubmissionError("invalid Content-Length header") from None
+        if length < 0:
+            # rfile.read(-1) would block on the open socket until the
+            # client hangs up; refuse instead.
+            raise SubmissionError("invalid Content-Length header")
+        if length > MAX_BODY_BYTES:
+            raise SubmissionError(
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit")
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise SubmissionError("request body must be a JSON object")
+        try:
+            body = json.loads(raw)
+        except ValueError as exc:
+            raise SubmissionError(f"request body is not JSON: {exc}") from exc
+        if not isinstance(body, dict):
+            raise SubmissionError("request body must be a JSON object")
+        return body
+
+    def _resolve_job_id(self, raw_id: str) -> str:
+        """Full ids pass through; unique prefixes resolve (CLI comfort).
+
+        Exact ids hit one file read — the polling hot path must not pay
+        ``resolve``'s whole-directory prefix scan per request.
+        """
+        if self.service.queue.get(raw_id) is not None:
+            return raw_id
+        return self.service.queue.resolve(raw_id)
+
+    # -- verbs --------------------------------------------------------------------
+
+    def _guarded(self, handler) -> None:
+        """Run one verb handler; any unexpected failure (disk full while
+        journaling, a store race) still answers with the documented JSON
+        error envelope instead of a dropped connection."""
+        try:
+            handler()
+        except Exception:
+            logger.exception("unhandled error serving %s %s",
+                             self.command, self.path)
+            try:
+                self._send_error_json(
+                    500, "InternalError",
+                    "internal service error; see the daemon log")
+            except OSError:  # pragma: no cover (client already gone)
+                pass
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        self._guarded(self._get)
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._guarded(self._post)
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._guarded(self._delete)
+
+    def _get(self) -> None:
+        url = urlsplit(self.path)
+        query = {key: values[-1]
+                 for key, values in parse_qs(url.query).items()}
+        parts = [part for part in url.path.split("/") if part]
+        try:
+            if parts == ["v1", "healthz"]:
+                self._send_json(200, self.service.health())
+            elif parts == ["v1", "stats"]:
+                self._send_json(200, self.service.stats())
+            elif parts == ["v1", "jobs"]:
+                document = self.service.list_jobs(
+                    status=query.get("status"),
+                    workload=query.get("workload"))
+                self._send_json(200, document)
+            elif len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
+                job_id = self._resolve_job_id(parts[2])
+                include_payload = query.get("payload", "1") not in ("0",
+                                                                    "false")
+                self._send_json(200, self.service.job_document(
+                    job_id, payload=include_payload))
+            else:
+                self._send_error_json(404, "NotFound",
+                                      f"no route for GET {url.path}")
+        except KeyError as exc:
+            self._send_error_json(404, "NotFound", str(exc.args[0]))
+        except ValueError as exc:
+            self._send_error_json(400, "BadRequest", str(exc))
+
+    def _post(self) -> None:
+        url = urlsplit(self.path)
+        parts = [part for part in url.path.split("/") if part]
+        if parts == ["v1", "prune"]:
+            try:  # drain any (ignored) body so keep-alive stays sane
+                pending = max(0, int(self.headers.get("Content-Length",
+                                                      0) or 0))
+            except ValueError:
+                pending = 0
+            if pending:
+                self.rfile.read(min(pending, MAX_BODY_BYTES))
+            query = {key: values[-1]
+                     for key, values in parse_qs(url.query).items()}
+            try:
+                keep_last = int(query.get("keep_last", "0"))
+                removed = self.service.queue.prune(keep_last=keep_last)
+            except ValueError as exc:
+                self._send_error_json(400, "BadRequest", str(exc))
+                return
+            self._send_json(200, {"schema": "repro.service_prune/v1",
+                                  "removed": removed,
+                                  "keep_last": keep_last})
+            return
+        if parts != ["v1", "jobs"]:
+            self._send_error_json(404, "NotFound",
+                                  f"no route for POST {url.path}")
+            return
+        try:
+            body = self._read_body()
+            job, coalesced = self.service.submit_document(body)
+        except SubmissionError as exc:
+            self._send_error_json(400, "SubmissionError", str(exc))
+            return
+        self._send_json(200 if coalesced else 201,
+                        {**job, "coalesced": coalesced})
+
+    def _delete(self) -> None:
+        url = urlsplit(self.path)
+        parts = [part for part in url.path.split("/") if part]
+        if len(parts) != 3 or parts[:2] != ["v1", "jobs"]:
+            self._send_error_json(404, "NotFound",
+                                  f"no route for DELETE {url.path}")
+            return
+        try:
+            job_id = self._resolve_job_id(parts[2])
+            job = self.service.queue.cancel(job_id)
+        except KeyError as exc:
+            self._send_error_json(404, "NotFound", str(exc.args[0]))
+            return
+        except ValueError as exc:
+            # Ambiguous prefix (400) vs not-cancellable state (409).
+            if "ambiguous" in str(exc):
+                self._send_error_json(400, "BadRequest", str(exc))
+            else:
+                self._send_error_json(409, "Conflict", str(exc))
+            return
+        self._send_json(200, job)
+
+
+def build_server(service, host: str = "127.0.0.1",
+                 port: int = 0) -> ThreadingHTTPServer:
+    """A ready-to-serve HTTP server bound to ``host:port`` (0 = ephemeral)."""
+    server = ThreadingHTTPServer((host, port), ServiceRequestHandler)
+    server.daemon_threads = True
+    server.service = service  # type: ignore[attr-defined]
+    return server

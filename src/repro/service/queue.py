@@ -1,0 +1,400 @@
+"""A durable, content-addressed job queue for campaign submissions.
+
+Jobs live as one JSON file each under ``<root>/jobs/``, written with the
+same atomic temp+rename discipline as :class:`repro.store.CampaignStore`
+entries, so a crash mid-write never leaves a half-readable record and a
+reader never sees a torn state transition.
+
+Content addressing: a job's id is the SHA-256 of its *request document*
+(spec + sweep grid + engine/workload identity — the same identity that
+keys the campaign store, so a code revision bump retires queued work
+too).  Two clients submitting the same request therefore address the
+same job: while it is queued or running the second submission coalesces
+onto the first (raising its priority if asked), and once it has finished
+a re-submission re-queues the *same* job id for a fresh attempt — which
+the worker answers warm from the store with zero recomputation.
+
+State machine::
+
+    queued --claim--> running --complete--> done
+      |                  |------fail------> failed
+      |------cancel----> cancelled
+    (done|failed|cancelled) --submit--> queued   (re-queue, attempts += 1)
+
+Crash recovery: a job that was ``running`` when the daemon died is still
+``running`` on disk; :meth:`JobQueue.recover` (called by the daemon on
+startup) re-queues every such job.  Completed jobs are never touched.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from pathlib import Path
+from typing import Any, Mapping, Optional
+
+from repro.store import (
+    campaign_identity,
+    content_key,
+    read_json_document,
+    write_json_atomic,
+)
+
+#: Schema tag of the queue manifest (``queue.json`` at the root).
+QUEUE_SCHEMA = "repro.service_queue/v1"
+#: Version baked into the manifest; bump on incompatible layout changes.
+QUEUE_VERSION = 1
+#: Schema tag of every job record.
+JOB_SCHEMA = "repro.service_job/v1"
+
+#: Every state a job record can be in.
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+#: States a job never leaves on its own (re-submission re-queues them).
+TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
+
+
+def job_key(spec, sweep: Optional[Mapping[str, Any]] = None) -> str:
+    """The content address of one job request.
+
+    Priority and submission time are deliberately excluded: they shape
+    *when* a job runs, not *what* it computes, and duplicates must
+    coalesce regardless of them.  The store identity
+    (:func:`repro.store.campaign_identity`) rides along so an engine or
+    workload revision bump makes old and new submissions distinct jobs.
+    """
+    return content_key({
+        "kind": "job",
+        "identity": campaign_identity(spec),
+        "spec": spec.to_dict(),
+        "sweep": {k: list(v) for k, v in sweep.items()} if sweep else None,
+    })
+
+
+class JobQueue:
+    """One on-disk queue rooted at a directory.
+
+    Layout::
+
+        <root>/queue.json       manifest (schema + version + seq counter)
+        <root>/jobs/<id>.json   one record per job id
+
+    All mutation goes through one instance-level lock: the daemon is the
+    queue's only writer (clients mutate via its HTTP API), so in-process
+    locking is the whole concurrency story — worker threads claim and
+    finish jobs under the same lock the submit path uses.  The files are
+    the durability story: every transition is journaled before the call
+    returns, so a restarted daemon resumes from exactly the on-disk
+    state.
+    """
+
+    def __init__(self, root, create: bool = True):
+        self.root = Path(root)
+        self.jobs_dir = self.root / "jobs"
+        self._lock = threading.RLock()
+        manifest_path = self.root / "queue.json"
+        if create:
+            self.jobs_dir.mkdir(parents=True, exist_ok=True)
+            if not manifest_path.exists():
+                self._write_json(manifest_path, {
+                    "schema": QUEUE_SCHEMA, "version": QUEUE_VERSION,
+                    "seq": 0,
+                })
+        elif not manifest_path.exists():
+            raise FileNotFoundError(
+                f"no job queue at {self.root} (missing queue.json)")
+        manifest = self._read_json(manifest_path) or {}
+        version = manifest.get("version", QUEUE_VERSION)
+        if version != QUEUE_VERSION:
+            raise ValueError(
+                f"queue at {self.root} has version {version!r}; this build "
+                f"reads/writes version {QUEUE_VERSION}")
+        self._seq = int(manifest.get("seq", 0) or 0)
+        #: in-memory index of queued job ids, so the workers' idle polls
+        #: never re-scan terminal jobs accumulated over the daemon's
+        #: lifetime.  Valid because the daemon is the queue's only
+        #: writer; rebuilt from disk here (one scan per open).
+        self._queued: set[str] = {
+            job["id"] for job in self.list(status="queued")}
+
+    # -- file plumbing (the shared repro.store atomic discipline) -----------------
+
+    _write_json = staticmethod(write_json_atomic)
+    _read_json = staticmethod(read_json_document)
+
+    def _job_path(self, job_id: str) -> Path:
+        return self.jobs_dir / f"{job_id}.json"
+
+    def _save(self, job: dict) -> dict:
+        self._write_json(self._job_path(job["id"]), job)
+        return job
+
+    def _next_seq(self) -> int:
+        """Monotonic submission counter (the FIFO tie-break), persisted."""
+        self._seq += 1
+        self._write_json(self.root / "queue.json", {
+            "schema": QUEUE_SCHEMA, "version": QUEUE_VERSION,
+            "seq": self._seq,
+        })
+        return self._seq
+
+    # -- reads --------------------------------------------------------------------
+
+    def get(self, job_id: str) -> Optional[dict]:
+        """The job record, or None (missing *or* unreadable)."""
+        document = self._read_json(self._job_path(job_id))
+        if (document is None or document.get("schema") != JOB_SCHEMA
+                or document.get("id") != job_id):
+            return None
+        return document
+
+    def resolve(self, prefix: str) -> str:
+        """The unique job id starting with ``prefix`` (CLI convenience)."""
+        matches = [job_id for job_id in self._ids()
+                   if job_id.startswith(prefix)]
+        if not matches:
+            raise KeyError(f"no job matches {prefix!r}")
+        if len(matches) > 1:
+            raise ValueError(
+                f"job id prefix {prefix!r} is ambiguous "
+                f"({len(matches)} matches)")
+        return matches[0]
+
+    def _ids(self) -> list[str]:
+        if not self.jobs_dir.is_dir():
+            return []
+        return sorted(path.stem for path in self.jobs_dir.glob("*.json")
+                      if not path.name.startswith("."))
+
+    def list(self, status: Optional[str] = None,
+             workload: Optional[str] = None) -> list[dict]:
+        """Every readable job record, newest submission first.
+
+        ``status`` / ``workload`` filter on the corresponding fields;
+        unreadable files (torn writes from a crashed daemon) are
+        skipped, never raised.
+        """
+        if status is not None and status not in JOB_STATES:
+            raise ValueError(f"unknown job status {status!r}; "
+                             f"states: {list(JOB_STATES)}")
+        jobs = []
+        for job_id in self._ids():
+            job = self.get(job_id)
+            if job is None:
+                continue
+            if status is not None and job["status"] != status:
+                continue
+            if workload is not None and job["workload"] != workload:
+                continue
+            jobs.append(job)
+        jobs.sort(key=lambda job: -job["seq"])
+        return jobs
+
+    # -- submission ---------------------------------------------------------------
+
+    def submit(self, spec, sweep: Optional[Mapping[str, Any]] = None,
+               priority: int = 0, jobs: int = 1) -> tuple[dict, bool]:
+        """Enqueue one request; returns ``(record, coalesced)``.
+
+        ``coalesced=True`` means an identical request was already queued
+        or running and this submission attached to it (its priority is
+        raised to the maximum of the two — a duplicate can expedite a
+        job, never demote it).  A request matching a *terminal* job
+        re-queues the same job id with ``attempts`` bumped; the worker
+        then answers it warm from the store.  ``jobs`` is the worker
+        process fan-out *within* the job's sweep (clamped downstream by
+        :func:`repro.api.campaign._available_cpus`).
+        """
+        sweep_doc = ({k: list(v) for k, v in sweep.items()}
+                     if sweep else None)
+        job_id = job_key(spec, sweep)
+        with self._lock:
+            existing = self.get(job_id)
+            if existing is not None and existing["status"] in ("queued",
+                                                              "running"):
+                if priority > existing["priority"]:
+                    existing["priority"] = priority
+                    self._save(existing)
+                return existing, True
+            attempts = existing["attempts"] if existing is not None else 0
+            record = {
+                "schema": JOB_SCHEMA,
+                "id": job_id,
+                "kind": "sweep" if sweep_doc else "run",
+                "status": "queued",
+                "priority": int(priority),
+                "seq": self._next_seq(),
+                "spec": spec.to_dict(),
+                "sweep": sweep_doc,
+                "jobs": max(1, int(jobs)),
+                "name": spec.name,
+                "workload": spec.workload,
+                "attempts": attempts,
+                "submitted_at": time.time(),
+                "started_at": None,
+                "finished_at": None,
+                "worker": None,
+                "error": None,
+                "result": None,
+            }
+            record = self._save(record)
+            # Index only after the journal write succeeded: a failed
+            # save must not leave a phantom id inflating depth().
+            self._queued.add(job_id)
+            return record, False
+
+    # -- worker-side transitions --------------------------------------------------
+
+    def claim(self, worker: str) -> Optional[dict]:
+        """Atomically move the best queued job to ``running``.
+
+        "Best" is highest priority first, then FIFO by submission
+        sequence.  Returns the updated record, or None when nothing is
+        queued.
+        """
+        with self._lock:
+            if not self._queued:  # idle fast path: no disk touched
+                return None
+            queued = []
+            for job_id in list(self._queued):
+                job = self.get(job_id)
+                if job is None or job["status"] != "queued":
+                    self._queued.discard(job_id)  # mutated out of band
+                    continue
+                queued.append(job)
+            if not queued:
+                return None
+            job = min(queued, key=lambda j: (-j["priority"], j["seq"]))
+            job["status"] = "running"
+            job["worker"] = worker
+            job["started_at"] = time.time()
+            job["attempts"] += 1
+            job = self._save(job)
+            self._queued.discard(job["id"])  # only once journaled
+            return job
+
+    def _finish(self, job_id: str, status: str, *, result=None,
+                error=None) -> dict:
+        with self._lock:
+            job = self.get(job_id)
+            if job is None:
+                raise KeyError(f"no job {job_id!r}")
+            if job["status"] != "running":
+                raise ValueError(
+                    f"job {job_id[:12]} is {job['status']!r}, not running; "
+                    f"only running jobs finish")
+            job["status"] = status
+            job["result"] = result
+            job["error"] = error
+            job["finished_at"] = time.time()
+            return self._save(job)
+
+    def complete(self, job_id: str, result: dict) -> dict:
+        """``running -> done`` with the job's result bookkeeping."""
+        return self._finish(job_id, "done", result=result)
+
+    def fail(self, job_id: str, error: Mapping[str, Any]) -> dict:
+        """``running -> failed`` with a ``{type, message}`` envelope."""
+        return self._finish(job_id, "failed",
+                            error={"type": str(error.get("type", "Error")),
+                                   "message": str(error.get("message", ""))})
+
+    def cancel(self, job_id: str) -> dict:
+        """``queued -> cancelled``; running/terminal jobs refuse."""
+        with self._lock:
+            job = self.get(job_id)
+            if job is None:
+                raise KeyError(f"no job {job_id!r}")
+            if job["status"] != "queued":
+                raise ValueError(
+                    f"job {job_id[:12]} is {job['status']!r}; only queued "
+                    f"jobs can be cancelled")
+            job["status"] = "cancelled"
+            job["finished_at"] = time.time()
+            job = self._save(job)
+            self._queued.discard(job_id)  # only once journaled
+            return job
+
+    # -- recovery & stats ---------------------------------------------------------
+
+    def recover(self) -> list[str]:
+        """Re-queue every job left ``running`` by a dead daemon.
+
+        Called on daemon startup, before any worker runs.  The campaign
+        store still holds whatever grid points the interrupted job
+        completed, so the re-run resumes rather than restarts.  Returns
+        the re-queued job ids.
+        """
+        requeued = []
+        with self._lock:
+            for job in self.list(status="running"):
+                job["status"] = "queued"
+                job["worker"] = None
+                job["started_at"] = None
+                self._save(job)
+                self._queued.add(job["id"])
+                requeued.append(job["id"])
+        return requeued
+
+    def depth(self) -> int:
+        """Queued-job count from the in-memory index (no disk scan)."""
+        return len(self._queued)
+
+    def prune(self, keep_last: int = 0) -> int:
+        """Remove *terminal* job records, newest-first keeping ``keep_last``.
+
+        The jobs directory otherwise grows for the daemon's whole
+        lifetime (and listings/stats scan all of it).  Results are
+        unaffected — they live in the campaign store under their own
+        content addresses — and a pruned spec simply re-queues as a
+        fresh job on its next submission, answered warm from the store.
+        Queued and running jobs are never touched.  Returns the number
+        of records removed.
+        """
+        if keep_last < 0:
+            raise ValueError("keep_last must be >= 0")
+        removed = 0
+        with self._lock:
+            terminal = [job for job in self.list()
+                        if job["status"] in TERMINAL_STATES]
+            for job in terminal[keep_last:]:  # list() is newest-first
+                self._job_path(job["id"]).unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+    def stats(self) -> dict:
+        """Queue depth by state plus per-workload counters."""
+        from repro.workloads import workload_names
+
+        by_status = {status: 0 for status in JOB_STATES}
+        by_workload: dict[str, dict[str, int]] = {
+            name: {status: 0 for status in JOB_STATES}
+            for name in workload_names()
+        }
+        for job in self.list():
+            by_status[job["status"]] += 1
+            counters = by_workload.setdefault(
+                job["workload"], {status: 0 for status in JOB_STATES})
+            counters[job["status"]] += 1
+        return {
+            "depth": by_status["queued"],
+            "by_status": by_status,
+            "by_workload": by_workload,
+        }
+
+    def describe(self) -> str:
+        jobs = self.list()
+        lines = [f"queue {self.root}: {len(jobs)} jobs"]
+        for job in jobs:
+            lines.append(
+                f"  {job['id'][:12]}  {job['status']:<9} p{job['priority']} "
+                f"{job['kind']:<5} {job['name']} ({job['workload']})")
+        return "\n".join(lines)
+
+
+def job_summary(job: dict) -> dict:
+    """The listing row for one job record (no spec/sweep bodies)."""
+    return {key: job[key] for key in (
+        "id", "kind", "status", "priority", "seq", "name", "workload",
+        "attempts", "submitted_at", "started_at", "finished_at", "worker",
+        "error",
+    )}

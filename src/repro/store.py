@@ -53,6 +53,32 @@ ENTRY_SCHEMA = "repro.store_entry/v1"
 STALE_TMP_SECONDS = 15 * 60
 
 
+def write_json_atomic(path: Path, document: dict) -> None:
+    """Atomic write: same-directory temp file + ``os.replace``.
+
+    The one write discipline every durable file in the system uses —
+    store entries, manifests and :mod:`repro.service.queue` job records
+    alike — so readers never observe a torn document.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.parent / f".{path.name}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as stream:
+        json.dump(document, stream, sort_keys=True)
+        stream.flush()
+        os.fsync(stream.fileno())
+    os.replace(tmp, path)
+
+
+def read_json_document(path: Path) -> Optional[dict]:
+    """The file's JSON object, or None if missing/corrupt/non-object."""
+    try:
+        with open(path, encoding="utf-8") as stream:
+            document = json.load(stream)
+    except (OSError, ValueError, UnicodeDecodeError):
+        return None
+    return document if isinstance(document, dict) else None
+
+
 def engine_identity(engine: str) -> dict:
     """The execution-engine part of an entry's content address."""
     from repro.swir.engine import ENGINE_REVISION
@@ -212,26 +238,8 @@ class CampaignStore:
     def _entry_path(self, key: str) -> Path:
         return self.entries_dir / key[:2] / f"{key}.json"
 
-    @staticmethod
-    def _write_json(path: Path, document: dict) -> None:
-        """Atomic write: same-directory temp file + ``os.replace``."""
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.parent / f".{path.name}.tmp.{os.getpid()}"
-        with open(tmp, "w", encoding="utf-8") as stream:
-            json.dump(document, stream, sort_keys=True)
-            stream.flush()
-            os.fsync(stream.fileno())
-        os.replace(tmp, path)
-
-    @staticmethod
-    def _read_json(path: Path) -> Optional[dict]:
-        """The file's JSON object, or None if missing/corrupt."""
-        try:
-            with open(path, encoding="utf-8") as stream:
-                document = json.load(stream)
-        except (OSError, ValueError, UnicodeDecodeError):
-            return None
-        return document if isinstance(document, dict) else None
+    _write_json = staticmethod(write_json_atomic)
+    _read_json = staticmethod(read_json_document)
 
     # -- keys ---------------------------------------------------------------------
 
@@ -412,7 +420,7 @@ class CampaignStore:
                            f"run gc to reclaim it")
         return envelope
 
-    def gc(self, failed: bool = False) -> dict:
+    def gc(self, failed: bool = False, dry_run: bool = False) -> dict:
         """Reclaim temp litter and corrupt entries; optionally failures.
 
         Always removes *stale* atomic-write temp files (older than
@@ -421,10 +429,23 @@ class CampaignStore:
         as valid envelopes; with ``failed=True`` also removes
         ``status="error"`` entries (forcing a resumed sweep to retry
         those points even if their retry budget concerned you).
+        ``dry_run=True`` computes the same counts (and returns the
+        would-be victims under ``"candidates"``) but deletes nothing.
         Returns removal/kept counts.
         """
-        stats = {"removed_tmp": 0, "removed_corrupt": 0,
-                 "removed_failed": 0, "kept": 0}
+        stats: dict = {"removed_tmp": 0, "removed_corrupt": 0,
+                       "removed_failed": 0, "kept": 0,
+                       "dry_run": dry_run}
+        candidates: list[str] = []
+        stats["candidates"] = candidates
+
+        def reclaim(path: Path, counter: str) -> None:
+            if dry_run:
+                candidates.append(str(path))
+            else:
+                path.unlink(missing_ok=True)
+            stats[counter] += 1
+
         if not self.entries_dir.is_dir():
             return stats
         now = time.time()
@@ -437,21 +458,19 @@ class CampaignStore:
                     continue
             except OSError:
                 continue  # raced with its writer's os.replace: in use
-            path.unlink(missing_ok=True)
-            stats["removed_tmp"] += 1
+            reclaim(path, "removed_tmp")
         for path in self._entry_files():
             envelope = self._read_json(path)
             if (envelope is None or envelope.get("schema") != ENTRY_SCHEMA
                     or envelope.get("key") != path.stem
                     or envelope.get("status") not in ("ok", "error")):
-                path.unlink(missing_ok=True)
-                stats["removed_corrupt"] += 1
+                reclaim(path, "removed_corrupt")
             elif failed and envelope["status"] == "error":
-                path.unlink(missing_ok=True)
-                stats["removed_failed"] += 1
+                reclaim(path, "removed_failed")
             else:
                 stats["kept"] += 1
-        self.corrupt = []
+        if not dry_run:
+            self.corrupt = []
         return stats
 
     def describe(self, rows: Optional[list[dict]] = None) -> str:

@@ -18,6 +18,7 @@ from repro.workloads.base import (
     Workload,
     get_workload,
     register_workload,
+    registry_info,
     validated_params,
     workload_names,
 )
@@ -32,6 +33,7 @@ __all__ = [
     "Workload",
     "get_workload",
     "register_workload",
+    "registry_info",
     "validated_params",
     "workload_names",
 ]

@@ -138,6 +138,25 @@ def workload_names() -> list[str]:
     return sorted(_REGISTRY)
 
 
+def registry_info() -> dict[str, dict]:
+    """Per-workload registry metadata, keyed by name.
+
+    The row each operator surface shows for a workload — the ``repro
+    workloads`` listing and the service's ``GET /v1/stats`` per-workload
+    counters both read it: description, pass threshold, and the store
+    ``revision`` currently serving (so an operator can tell whether a
+    store was populated by this implementation or an older one).
+    """
+    return {
+        name: {
+            "description": workload.description,
+            "min_accuracy": workload.min_accuracy,
+            "revision": int(getattr(workload, "revision", 1)),
+        }
+        for name, workload in sorted(_REGISTRY.items())
+    }
+
+
 def validated_params(name: str, params: Mapping[str, Any],
                      defaults: Mapping[str, Any]) -> dict:
     """Merge ``params`` over ``defaults``, rejecting unknown keys.

@@ -310,3 +310,82 @@ class TestSweepPointError:
         assert "t[capacity_gates=2]" in message
         assert "params={}" in message
         assert "ContextError" in message
+
+
+class TestAvailableCpus:
+    """The REPRO_JOBS override on CPU detection (cgroup-limited CI)."""
+
+    def test_env_override_wins(self, monkeypatch):
+        from repro.api.campaign import _available_cpus
+
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert _available_cpus() == 3
+
+    def test_override_clamps_to_one(self, monkeypatch):
+        from repro.api.campaign import _available_cpus
+
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        assert _available_cpus() == 1
+        monkeypatch.setenv("REPRO_JOBS", "-4")
+        assert _available_cpus() == 1
+
+    def test_blank_override_is_ignored(self, monkeypatch):
+        from repro.api.campaign import _available_cpus
+
+        monkeypatch.setenv("REPRO_JOBS", "  ")
+        assert _available_cpus() >= 1
+
+    def test_garbage_override_is_a_clean_error(self, monkeypatch):
+        from repro.api.campaign import _available_cpus
+
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.raises(ValueError, match="REPRO_JOBS"):
+            _available_cpus()
+
+    def test_pool_honours_the_override(self, monkeypatch):
+        """A 1-pinned pool runs a 2-point sweep in one worker process."""
+        monkeypatch.setenv("REPRO_JOBS", "1")
+        base = SMALL.replace(levels=(1,))
+        result = Campaign.sweep(base, {"frames": [1, 2]}, jobs=8)
+        assert result.passed and len(result.runs()) == 2
+
+
+class TestResumeLogging:
+    """``sweep(resume=True)`` leaves one auditable summary line."""
+
+    def test_resumed_sweep_logs_hits_and_executed(self, tmp_path, caplog):
+        from repro.api import CampaignStore
+
+        store = CampaignStore(tmp_path / "store")
+        base = SMALL.replace(levels=(1,))
+        grid = {"frames": [1, 2]}
+        Campaign.sweep(base, grid, store=store)
+        with caplog.at_level("INFO", logger="repro.campaign"):
+            Campaign.sweep(base, grid, store=store, resume=True)
+        lines = [rec.message for rec in caplog.records
+                 if rec.name == "repro.campaign"]
+        assert len(lines) == 1
+        assert "2/2 points merged from store" in lines[0]
+        assert "0 executed" in lines[0]
+
+    def test_cold_resume_logs_executed_count(self, tmp_path, caplog):
+        from repro.api import CampaignStore
+
+        store = CampaignStore(tmp_path / "store")
+        base = SMALL.replace(levels=(1,))
+        with caplog.at_level("INFO", logger="repro.campaign"):
+            Campaign.sweep(base, {"frames": [1, 2]}, store=store,
+                           resume=True)
+        assert any("0/2 points merged from store" in rec.message
+                   and "2 executed" in rec.message
+                   for rec in caplog.records)
+
+    def test_unresumed_sweep_is_silent(self, tmp_path, caplog):
+        from repro.api import CampaignStore
+
+        store = CampaignStore(tmp_path / "store")
+        base = SMALL.replace(levels=(1,))
+        with caplog.at_level("INFO", logger="repro.campaign"):
+            Campaign.sweep(base, {"frames": [1]}, store=store)
+        assert [rec for rec in caplog.records
+                if rec.name == "repro.campaign"] == []

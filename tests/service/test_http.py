@@ -1,0 +1,220 @@
+"""The HTTP API end-to-end: daemon up, jobs over the wire, store-served
+payloads.
+
+The acceptance contract lives in
+:class:`TestEndToEnd.test_http_sweep_matches_direct_sweep_and_resubmits_warm`:
+a sweep submitted over HTTP must return a payload byte-identical
+(``documents_equal``) to the same sweep run directly through
+``Campaign.sweep``, and a repeat submission must be answered entirely
+from the store — 100% hits, zero points executed.
+"""
+
+import pytest
+
+from repro.api import Campaign, CampaignSpec
+from repro.serialize import documents_equal
+from repro.service import CampaignService, ServiceClient, ServiceError
+
+FAST = CampaignSpec(name="http-e2e", workload="blockcipher", frames=1,
+                    levels=(1,), params={"block_words": 4})
+GRID = {"frames": [1, 2]}
+
+
+@pytest.fixture
+def service(tmp_path):
+    svc = CampaignService(tmp_path / "svc", workers=1).start()
+    yield svc
+    svc.stop()
+
+
+@pytest.fixture
+def client(service):
+    return ServiceClient(service.url)
+
+
+@pytest.fixture
+def idle_service(tmp_path):
+    """HTTP up, workers *not* draining: queued state is observable."""
+    svc = CampaignService(tmp_path / "svc").start(workers=False)
+    yield svc
+    svc.stop()
+
+
+class TestEndToEnd:
+    def test_http_sweep_matches_direct_sweep_and_resubmits_warm(
+            self, service, client, monkeypatch):
+        job = client.submit(FAST.to_dict(), sweep=GRID)
+        assert job["status"] == "queued" and not job["coalesced"]
+        done = client.wait(job["id"], timeout=120)
+        assert done["status"] == "done"
+        assert done["result"]["passed"]
+
+        # Byte-identical (minus volatile keys) to the direct sweep.
+        direct = Campaign.sweep(FAST, GRID)
+        assert documents_equal(done["payload"], direct.to_dict())
+
+        # Repeat submission: same job id, answered 100% from the store
+        # with zero recomputation (Campaign.run would raise).
+        def bomb(self, session=None, store=None):
+            raise AssertionError("warm resubmission recomputed a point")
+        monkeypatch.setattr(Campaign, "run", bomb)
+        again = client.submit(FAST.to_dict(), sweep=GRID)
+        assert again["id"] == job["id"] and not again["coalesced"]
+        warm = client.wait(again["id"], timeout=120)
+        resume = warm["result"]["store_resume"]
+        assert resume["executed"] == [] and resume["retried"] == []
+        assert len(resume["hits"]) == len(Campaign.sweep_specs(FAST, GRID))
+        assert documents_equal(warm["payload"], direct.to_dict())
+
+    def test_single_spec_job_payload_is_the_outcome_document(
+            self, service, client):
+        job = client.submit(FAST.to_dict())
+        done = client.wait(job["id"], timeout=120)
+        payload = done["payload"]
+        assert payload["schema"] == "repro.campaign_outcome/v1"
+        assert payload["passed"] and payload["spec"]["name"] == "http-e2e"
+        # ?payload=0 omits the (potentially large) document.
+        slim = client.get(job["id"], payload=False)
+        assert "payload" not in slim
+
+    def test_failing_spec_reports_envelope_over_http(self, service, client):
+        job = client.submit(FAST.replace(name="doomed",
+                                         cpu="MISSING-CPU").to_dict())
+        done = client.wait(job["id"], timeout=120)
+        assert done["status"] == "failed"
+        assert "MISSING-CPU" in done["error"]["message"]
+
+
+class TestRoutes:
+    def test_healthz_and_stats(self, service, client):
+        health = client.healthz()
+        assert health["ok"] and health["workers"] == 1
+        stats = client.stats()
+        assert stats["schema"] == "repro.service_stats/v1"
+        assert set(stats["queue"]["by_status"]) == {
+            "queued", "running", "done", "failed", "cancelled"}
+        assert "blockcipher" in stats["workloads"]
+        assert stats["workloads"]["blockcipher"]["revision"] == 1
+
+    def test_unknown_routes_and_job_404(self, service, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.get("feedbeef" * 8)
+        assert excinfo.value.status == 404
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("GET", "/v2/nope")
+        assert excinfo.value.status == 404
+
+    def test_invalid_spec_is_a_400(self, service, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit({"schema": "repro.campaign_spec/v2",
+                           "workload": "holograms"})
+        assert excinfo.value.status == 400
+        assert "holograms" in str(excinfo.value)
+
+    def test_invalid_sweep_grid_is_a_400(self, service, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit(FAST.to_dict(), sweep={"warp_factor": [9]})
+        assert excinfo.value.status == 400
+
+    def test_non_json_body_is_a_400(self, service, client):
+        import urllib.request
+
+        request = urllib.request.Request(
+            f"{service.url}/v1/jobs", method="POST", data=b"not json")
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+
+    def test_bad_content_length_is_a_400_not_a_hang(self, service):
+        """Raw-socket request with a negative Content-Length: refused."""
+        import socket
+
+        host, port = service.server.server_address[:2]
+        with socket.create_connection((host, port), timeout=10) as sock:
+            sock.sendall(b"POST /v1/jobs HTTP/1.1\r\n"
+                         b"Host: x\r\nContent-Length: -1\r\n\r\n")
+            sock.settimeout(10)
+            response = sock.recv(4096)
+        assert b"400" in response.split(b"\r\n", 1)[0]
+
+    def test_listing_filters(self, idle_service):
+        client = ServiceClient(idle_service.url)
+        client.submit(FAST.to_dict())
+        client.submit(CampaignSpec(name="fr", identities=2, poses=1,
+                                   size=32, frames=1, levels=(1,)).to_dict())
+        assert len(client.jobs()) == 2
+        assert len(client.jobs(status="queued")) == 2
+        assert [j["workload"] for j in client.jobs(workload="facerec")] == \
+            ["facerec"]
+
+    def test_cancel_queued_then_conflict(self, idle_service):
+        client = ServiceClient(idle_service.url)
+        job = client.submit(FAST.to_dict())
+        cancelled = client.cancel(job["id"])
+        assert cancelled["status"] == "cancelled"
+        with pytest.raises(ServiceError) as excinfo:
+            client.cancel(job["id"])
+        assert excinfo.value.status == 409
+
+    def test_queued_duplicate_coalesces_over_http(self, idle_service):
+        client = ServiceClient(idle_service.url)
+        first = client.submit(FAST.to_dict(), priority=1)
+        second = client.submit(FAST.to_dict(), priority=7)
+        assert second["coalesced"] and second["id"] == first["id"]
+        assert second["priority"] == 7
+        assert len(client.jobs(status="queued")) == 1
+
+    def test_prune_over_http(self, service, client):
+        job = client.submit(FAST.to_dict())
+        client.wait(job["id"], timeout=120, payload=False)
+        assert client.prune()["removed"] == 1
+        assert client.jobs() == []
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("POST", "/v1/prune?keep_last=-2", {})
+        assert excinfo.value.status == 400
+        # The verified result survives pruning: resubmission is warm.
+        again = client.submit(FAST.to_dict())
+        warm = client.wait(again["id"], timeout=120)
+        assert warm["result"]["store_resume"]["hits"] == ["http-e2e"]
+
+    def test_id_prefix_resolution(self, idle_service):
+        client = ServiceClient(idle_service.url)
+        job = client.submit(FAST.to_dict())
+        assert client.get(job["id"][:12], payload=False)["id"] == job["id"]
+
+
+class TestDaemonLifecycle:
+    def test_restart_recovers_interrupted_jobs(self, tmp_path):
+        root = tmp_path / "svc"
+        first = CampaignService(root)
+        job, _ = first.queue.submit(FAST)
+        first.queue.claim("worker-0")
+        # Daemon "dies" mid-job: the kernel drops its socket and its
+        # advisory daemon.lock (simulated by closing both handles).
+        first.server.server_close()
+        first._lock_file.close()
+
+        second = CampaignService(root)
+        assert second.recovered == [job["id"]]
+        assert second.queue.get(job["id"])["status"] == "queued"
+        second.server.server_close()
+
+    def test_second_daemon_on_same_root_is_refused(self, tmp_path):
+        root = tmp_path / "svc"
+        first = CampaignService(root)
+        job, _ = first.queue.submit(FAST)
+        first.queue.claim("worker-0")  # a live daemon mid-job
+        with pytest.raises(RuntimeError, match="already running"):
+            CampaignService(root)
+        # ... and crucially the live daemon's running job was not
+        # hijacked back to queued by the refused instance.
+        assert first.queue.get(job["id"])["status"] == "running"
+        first.server.server_close()
+        first._lock_file.close()
+
+    def test_context_manager_starts_and_stops(self, tmp_path):
+        root = tmp_path / "svc"
+        with CampaignService(root, workers=1) as svc:
+            assert ServiceClient(svc.url).healthz()["ok"]
+        # stop() released the lock: a new daemon can take the root.
+        CampaignService(root).server.server_close()

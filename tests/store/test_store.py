@@ -270,11 +270,30 @@ class TestMaintenance:
         bad.write_text("garbage")
         stats = store.gc()
         assert stats == {"removed_tmp": 2, "removed_corrupt": 1,
-                         "removed_failed": 0, "kept": 1}
+                         "removed_failed": 0, "kept": 1,
+                         "dry_run": False, "candidates": []}
         assert not litter.exists() and not bad.exists()
         assert not manifest_tmp.exists()
         assert live.exists()  # young temps are never touched
         assert store.get(key) is not None
+
+    def test_gc_dry_run_reports_but_deletes_nothing(self, store):
+        store.put_campaign(SPEC, PAYLOAD)
+        store.put_campaign_failure(OTHER, RuntimeError("x"))
+        bad = store.entries_dir / "zz" / ("f" * 64 + ".json")
+        bad.parent.mkdir(parents=True, exist_ok=True)
+        bad.write_text("garbage")
+        stats = store.gc(failed=True, dry_run=True)
+        assert stats["dry_run"]
+        assert stats["removed_corrupt"] == 1
+        assert stats["removed_failed"] == 1 and stats["kept"] == 1
+        assert stats["candidates"] and str(bad) in stats["candidates"]
+        # ... but everything is still there, and a real gc then agrees.
+        assert bad.exists()
+        assert store.get_campaign(OTHER) is not None
+        real = store.gc(failed=True)
+        assert real["removed_corrupt"] == 1 and real["removed_failed"] == 1
+        assert not bad.exists()
 
     def test_gc_failed_removes_error_entries_only(self, store):
         store.put_campaign(SPEC, PAYLOAD)

@@ -1,0 +1,109 @@
+"""Concurrent writers: the atomic temp+rename contract under real races.
+
+Two (or more) processes writing the same content address must leave
+exactly one complete, valid envelope behind — never a torn file, never a
+mixture of both writers' bytes.  This is the property the service's
+worker pool and ``Campaign.sweep(jobs=N, store=...)`` both stand on.
+"""
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.api import CampaignSpec, CampaignStore
+from repro.store import ENTRY_SCHEMA
+
+SPEC = CampaignSpec(name="raced", workload="blockcipher", frames=1,
+                    levels=(1,), params={"block_words": 4})
+
+
+def _write_entry(store_root, barrier, marker, repeats):
+    """Child: wait at the barrier, then hammer the same key."""
+    store = CampaignStore(store_root)
+    barrier.wait()
+    for index in range(repeats):
+        store.put_campaign(SPEC, {"passed": True, "writer": marker,
+                                  "iteration": index})
+
+
+def _race(tmp_path, writers, repeats):
+    ctx = multiprocessing.get_context("fork")
+    barrier = ctx.Barrier(writers)
+    processes = [
+        ctx.Process(target=_write_entry,
+                    args=(str(tmp_path / "store"), barrier, marker, repeats))
+        for marker in range(writers)
+    ]
+    for process in processes:
+        process.start()
+    for process in processes:
+        process.join(timeout=60)
+        assert process.exitcode == 0
+    return CampaignStore(tmp_path / "store")
+
+
+class TestConcurrentWriters:
+    def test_two_processes_same_key_leave_one_valid_entry(self, tmp_path):
+        store = _race(tmp_path, writers=2, repeats=1)
+        key = store.campaign_key(SPEC)
+        assert store.keys() == [key]
+        envelope = store.get(key)
+        assert envelope is not None, "entry unreadable after the race"
+        assert envelope["schema"] == ENTRY_SCHEMA
+        assert envelope["status"] == "ok"
+        # The surviving payload is exactly one writer's document, intact.
+        assert envelope["payload"]["writer"] in (0, 1)
+        assert store.corrupt == []
+
+    def test_many_writers_many_rounds_never_tear(self, tmp_path):
+        store = _race(tmp_path, writers=4, repeats=5)
+        key = store.campaign_key(SPEC)
+        assert store.keys() == [key]
+        # Read the file raw: it must parse as one complete envelope.
+        raw = json.loads((store._entry_path(key)).read_text())
+        assert raw["key"] == key
+        assert raw["payload"]["iteration"] == 4  # a *last* write, complete
+        # No stray temp files left behind by any writer.
+        litter = [path for path in store.entries_dir.glob("*/.*")]
+        assert litter == []
+
+    def test_reader_during_race_sees_valid_or_miss_never_garbage(
+            self, tmp_path):
+        """A reader concurrent with the writers gets an envelope or None."""
+        ctx = multiprocessing.get_context("fork")
+        barrier = ctx.Barrier(3)
+        writers = [
+            ctx.Process(target=_write_entry,
+                        args=(str(tmp_path / "store"), barrier, marker, 10))
+            for marker in range(2)
+        ]
+        for process in writers:
+            process.start()
+        reader = CampaignStore(tmp_path / "store")
+        barrier.wait()
+        for _ in range(50):
+            envelope = reader.get(reader.campaign_key(SPEC))
+            if envelope is not None:
+                assert envelope["schema"] == ENTRY_SCHEMA
+        for process in writers:
+            process.join(timeout=60)
+            assert process.exitcode == 0
+        assert reader.corrupt == []
+
+
+@pytest.mark.parametrize("status", ["ok", "error"])
+def test_failure_and_success_writers_settle_on_one_envelope(tmp_path,
+                                                            status):
+    """ok-vs-error races settle on whichever write renamed last — but
+    always on a *complete* envelope of one of the two kinds."""
+    store = CampaignStore(tmp_path / "store")
+    if status == "ok":
+        store.put_campaign(SPEC, {"passed": True})
+        store.put_campaign_failure(SPEC, RuntimeError("late failure"))
+    else:
+        store.put_campaign_failure(SPEC, RuntimeError("early failure"))
+        store.put_campaign(SPEC, {"passed": True})
+    envelope = store.get(store.campaign_key(SPEC))
+    assert envelope["status"] in ("ok", "error")
+    assert envelope["attempts"] == 2

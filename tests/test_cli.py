@@ -326,6 +326,51 @@ class TestStoreBackedCommands:
         stats = json.loads(capsys.readouterr().out)
         assert stats["removed_failed"] == 1 and stats["kept"] == 1
 
+    def test_store_ls_json_is_canonical(self, tmp_path, capsys):
+        """ls --json strips volatile keys, so listings diff cleanly."""
+        from repro.api import CampaignSpec, CampaignStore
+
+        store_dir = tmp_path / "store"
+        store = CampaignStore(store_dir)
+        spec = CampaignSpec(name="seeded", identities=2, poses=1,
+                            size=32, frames=1, levels=(1,))
+        store.put_campaign(spec, {"passed": True, "stages": {}})
+        assert main(["store", "ls", "--store", str(store_dir),
+                     "--json"]) == 0
+        first = capsys.readouterr().out
+        # created_at is volatile by contract and must not appear; the
+        # entry-file byte size rides on the timestamp's digits, so it
+        # is stripped too.
+        assert "created_at" not in first
+        assert '"bytes"' not in first
+        # Rewrite the entry (new created_at): the listing is unchanged.
+        store.put_campaign(spec, {"passed": True, "stages": {}})
+        assert main(["store", "ls", "--store", str(store_dir),
+                     "--json"]) == 0
+        second = capsys.readouterr().out
+        assert json.loads(first)["entries"][0]["attempts"] == 1
+        assert json.loads(second)["entries"][0]["attempts"] == 2
+
+    def test_store_gc_dry_run(self, tmp_path, capsys):
+        from repro.api import CampaignSpec, CampaignStore
+
+        store_dir = tmp_path / "store"
+        store = CampaignStore(store_dir)
+        spec = CampaignSpec(name="seeded", identities=2, poses=1,
+                            size=32, frames=1, levels=(1,))
+        store.put_campaign_failure(spec, RuntimeError("boom"))
+        assert main(["store", "gc", "--store", str(store_dir),
+                     "--failed", "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "would remove" in out and "1 failed entries" in out
+        # Nothing was deleted: the entry is still listed.
+        assert store.get_campaign(spec) is not None
+        assert main(["store", "gc", "--store", str(store_dir),
+                     "--failed", "--dry-run", "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["dry_run"] is True
+        assert stats["removed_failed"] == 1 and stats["candidates"]
+
     def test_store_show_unknown_key(self, tmp_path):
         from repro.api import CampaignStore
 
@@ -367,3 +412,98 @@ class TestStoreBackedCommands:
         rows = CampaignStore(store_dir).ls()
         assert [row["kind"] for row in rows] == ["stage"]
         assert rows[0]["name"] == "level4"
+
+
+class TestServiceCommands:
+    """``repro service submit|status|watch`` against a live daemon."""
+
+    SPEC = {
+        "schema": "repro.campaign_spec/v2",
+        "name": "cli-service",
+        "workload": "blockcipher",
+        "frames": 1,
+        "levels": [1],
+        "params": {"block_words": 4},
+    }
+
+    @pytest.fixture
+    def service(self, tmp_path):
+        from repro.service import CampaignService
+
+        svc = CampaignService(tmp_path / "svc", workers=1).start()
+        yield svc
+        svc.stop()
+
+    def _write(self, tmp_path, payload):
+        path = tmp_path / "submit.json"
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_parser_knows_service_subcommands(self):
+        parser = build_parser()
+        for argv in (["service", "start", "--root", "r"],
+                     ["service", "submit", "spec.json"],
+                     ["service", "status"],
+                     ["service", "watch", "someid"]):
+            assert callable(parser.parse_args(argv).func)
+        with pytest.raises(SystemExit):
+            parser.parse_args(["service"])
+
+    def test_submit_watch_roundtrip(self, service, tmp_path, capsys):
+        spec_file = self._write(tmp_path, {"spec": self.SPEC,
+                                           "sweep": {"frames": [1, 2]}})
+        assert main(["service", "submit", spec_file, "--url", service.url,
+                     "--watch"]) == 0
+        out = capsys.readouterr().out
+        assert "DONE" in out and "PASSED" in out
+        assert "2 points" in out
+
+    def test_submit_then_status_and_watch(self, service, tmp_path, capsys):
+        spec_file = self._write(tmp_path, self.SPEC)
+        assert main(["service", "submit", spec_file, "--url",
+                     service.url, "--json"]) == 0
+        job = json.loads(capsys.readouterr().out)
+        assert job["status"] in ("queued", "running", "done")
+        assert main(["service", "watch", job["id"][:12], "--url",
+                     service.url]) == 0
+        assert "PASSED" in capsys.readouterr().out
+        assert main(["service", "status", job["id"][:12], "--url",
+                     service.url, "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["status"] == "done"
+        assert document["payload"]["passed"] is True
+
+    def test_submit_watch_json_emits_one_document(self, service, tmp_path,
+                                                  capsys):
+        """--json --watch prints exactly one JSON document (the terminal
+        record), like every other --json subcommand."""
+        spec_file = self._write(tmp_path, self.SPEC)
+        assert main(["service", "submit", spec_file, "--url", service.url,
+                     "--watch", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)  # Extra data -> fail
+        assert document["status"] == "done"
+        assert document["result"]["passed"] is True
+
+    def test_status_without_job_prints_stats(self, service, capsys):
+        assert main(["service", "status", "--url", service.url]) == 0
+        out = capsys.readouterr().out
+        assert "workers:" in out and "points:" in out
+
+    def test_failed_job_exits_nonzero(self, service, tmp_path, capsys):
+        doomed = dict(self.SPEC, name="doomed", cpu="MISSING-CPU")
+        spec_file = self._write(tmp_path, doomed)
+        assert main(["service", "submit", spec_file, "--url", service.url,
+                     "--watch"]) == 1
+        out = capsys.readouterr().out
+        assert "FAILED" in out and "MISSING-CPU" in out
+
+    def test_start_with_bad_workers_is_a_clean_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="workers"):
+            main(["service", "start", "--root", str(tmp_path / "svc"),
+                  "--workers", "0"])
+
+    def test_unreachable_service_is_a_clean_error(self, tmp_path):
+        spec_file = self._write(tmp_path, self.SPEC)
+        with pytest.raises(SystemExit, match="Unreachable"):
+            main(["service", "submit", spec_file,
+                  "--url", "http://127.0.0.1:9"])
