@@ -190,8 +190,33 @@ def cmd_store(args) -> int:
         text = json.dumps(envelope, indent=2, sort_keys=True)
         _emit(args, envelope, text)
         return 0
+    if args.store_command == "pack":
+        stats = store.pack(dry_run=args.dry_run)
+        document = {"schema": "repro.store_pack_report/v1",
+                    "store": str(store.root), **stats}
+        verb = "would pack" if args.dry_run else "packed"
+        text = (f"pack {store.root}: {verb} {stats['packed']} loose "
+                f"entries ({stats['bytes']} bytes) into "
+                f"{stats['packs']} pack(s)")
+        if stats.get("pack"):
+            text += f"\n  {stats['pack']}"
+        _emit(args, document, text)
+        return 0
     # gc
-    stats = store.gc(failed=args.failed, dry_run=args.dry_run)
+    protect = frozenset()
+    if getattr(args, "queue", None):
+        # Entries referenced by queued/running jobs are live even though
+        # the jobs haven't produced (or re-verified) them yet — a gc
+        # racing the queue must not delete the failure entries those
+        # jobs are about to retry.
+        from repro.service.queue import JobQueue, active_store_keys
+
+        try:
+            protect = active_store_keys(JobQueue(args.queue, create=False))
+        except (FileNotFoundError, ValueError) as exc:
+            raise SystemExit(str(exc))
+    stats = store.gc(failed=args.failed, dry_run=args.dry_run,
+                     protect=protect)
     document = {"schema": "repro.store_gc/v1", "store": str(store.root),
                 **stats}
     verb = "would remove" if args.dry_run else "removed"
@@ -199,8 +224,14 @@ def cmd_store(args) -> int:
             f"{stats['removed_corrupt']} corrupt entries, "
             f"{stats['removed_failed']} failed entries; "
             f"{stats['kept']} entries kept")
+    if stats["protected"]:
+        text += (f"; {stats['protected']} spared (referenced by active "
+                 f"jobs)")
     if args.dry_run and stats["candidates"]:
         text += "\n" + "\n".join(f"  {path}" for path in stats["candidates"])
+    if args.dry_run and stats["protected_keys"]:
+        text += "\n" + "\n".join(f"  protected {key}"
+                                 for key in stats["protected_keys"])
     _emit(args, document, text)
     return 0
 
@@ -248,15 +279,20 @@ def cmd_service(args) -> int:
         try:
             service = CampaignService(args.root, host=args.host,
                                       port=args.port, workers=args.workers,
-                                      job_timeout=args.job_timeout)
+                                      job_timeout=args.job_timeout,
+                                      max_depth=args.max_depth,
+                                      tenant_quota=args.tenant_quota)
         except (RuntimeError, ValueError, OSError) as exc:
             # Root already served by another daemon, port in use, bad
             # --workers, or a queue/store version mismatch: one clean
             # line, not a traceback.
             raise SystemExit(str(exc))
         service.start()
+        workers_note = (f"{service.pool.workers} workers"
+                        if service.pool is not None
+                        else "coordinator-only, 0 local workers")
         print(f"campaign service at {service.url} "
-              f"({service.pool.workers} workers, root {service.root})")
+              f"({workers_note}, root {service.root})")
         if service.recovered:
             print(f"recovered {len(service.recovered)} interrupted jobs: "
                   + ", ".join(job_id[:12] for job_id in service.recovered))
@@ -275,7 +311,8 @@ def cmd_service(args) -> int:
         if args.service_command == "submit":
             spec_doc, sweep = _load_submission(args.spec_file)
             job = client.submit(spec_doc, sweep=sweep,
-                                priority=args.priority, jobs=args.jobs)
+                                priority=args.priority, jobs=args.jobs,
+                                tenant=args.tenant)
             note = " (coalesced onto existing job)" if job.get("coalesced") \
                 else ""
             if not args.watch:
@@ -291,6 +328,10 @@ def cmd_service(args) -> int:
             _emit(args, job, _job_text(job))
             return 0 if job["status"] == "done" and \
                 job["result"]["passed"] else 1
+        if args.service_command == "stats":
+            stats = client.stats()
+            _emit(args, stats, _stats_table(stats))
+            return 0
         if args.service_command == "status":
             if args.job:
                 # The server resolves unique id prefixes.
@@ -319,6 +360,76 @@ def cmd_service(args) -> int:
             else 1
     except (ServiceError, TimeoutError) as exc:
         raise SystemExit(str(exc))
+
+
+def _stats_table(stats: dict) -> str:
+    """``repro service stats``: the /v1/stats document as an operator
+    table — queue, workers, store, and the fleet's runner roster."""
+    import time as _time
+
+    queue = stats["queue"]
+    workers = stats["workers"]
+    store = stats["store"]
+    fleet = stats.get("fleet", {})
+    by_status = ", ".join(f"{count} {status}" for status, count
+                          in sorted(queue["by_status"].items()) if count)
+    rows = [
+        ("queue", f"depth {queue['depth']}"
+                  + (f"  ({by_status})" if by_status else "")),
+        ("workers", f"{workers['busy']}/{workers['total']} busy | "
+                    f"{workers['jobs_done']} done, "
+                    f"{workers['jobs_failed']} failed"),
+        ("points", f"{workers['points_hit']} store hits, "
+                   f"{workers['points_executed']} executed, "
+                   f"{workers['points_retried']} retried"),
+        ("store", f"{store['entries']} entries, "
+                  f"{store['payload_reads']} payload reads"),
+        ("fleet", f"{fleet.get('runners_seen', 0)} runners seen, "
+                  f"{fleet.get('live_leases', 0)} live leases | "
+                  f"{fleet.get('expired_requeues', 0)} expired requeues, "
+                  f"{fleet.get('warm_completed', 0)} warm completions, "
+                  f"{fleet.get('zombie_drops', 0)} zombie drops"),
+        ("uptime", f"{stats['uptime_seconds']:.0f}s"),
+    ]
+    width = max(len(name) for name, _ in rows)
+    lines = [f"{name:<{width}}  {value}" for name, value in rows]
+    now = _time.time()
+    for name, info in sorted(fleet.get("runners", {}).items()):
+        lines.append(f"  runner {name}: {info['claims']} claims, "
+                     f"{info['uploads']} uploads, last seen "
+                     f"{max(0.0, now - info['last_seen']):.1f}s ago")
+    for lease in fleet.get("leases", []):
+        lines.append(f"  lease {lease['job_id'][:12]} -> "
+                     f"{lease['runner']} (gen {lease['generation']}, "
+                     f"expires in {lease['expires_in']:.1f}s)")
+    return "\n".join(lines)
+
+
+def cmd_runner(args) -> int:
+    """``repro runner start``: one fleet runner draining a coordinator."""
+    from repro.fleet import RunnerAgent
+    from repro.service import ServiceError
+
+    try:
+        agent = RunnerAgent(args.server, args.root, name=args.name,
+                            ttl=args.ttl, poll_interval=args.poll,
+                            job_timeout=args.job_timeout)
+    except (ValueError, OSError) as exc:
+        raise SystemExit(str(exc))
+    print(f"runner {agent.name} -> {args.server} "
+          f"(local store {agent.store.root}, lease ttl {agent.ttl:g}s)")
+    try:
+        processed = agent.run_forever(max_jobs=args.max_jobs)
+    except KeyboardInterrupt:
+        processed = agent.jobs_done + agent.jobs_failed
+        print("runner interrupted")
+    except ServiceError as exc:
+        raise SystemExit(str(exc))
+    print(f"runner {agent.name}: {processed} jobs processed "
+          f"({agent.jobs_done} ok, {agent.jobs_failed} failed, "
+          f"{agent.leases_lost} leases lost, "
+          f"{agent.entries_uploaded} entries uploaded)")
+    return 0
 
 
 def cmd_workloads(args) -> int:
@@ -440,7 +551,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_store_gc.add_argument(
         "--dry-run", action="store_true",
         help="print what would be deleted, delete nothing")
-    for p_sub in (p_store_ls, p_store_show, p_store_gc):
+    p_store_gc.add_argument(
+        "--queue", metavar="DIR", default=None,
+        help="job queue directory: never delete entries referenced by "
+             "its queued/running jobs")
+    p_store_pack = store_sub.add_parser(
+        "pack", help="pack loose entries into a pack + index pair")
+    p_store_pack.add_argument(
+        "--dry-run", action="store_true",
+        help="report what would be packed, write nothing")
+    for p_sub in (p_store_ls, p_store_show, p_store_gc, p_store_pack):
         p_sub.add_argument("--store", metavar="PATH", required=True,
                            help="campaign store directory")
         _add_json_arg(p_sub)
@@ -460,11 +580,22 @@ def build_parser() -> argparse.ArgumentParser:
                              help="bind port; 0 picks an ephemeral port")
     p_svc_start.add_argument("--workers", type=int, default=None, metavar="N",
                              help="worker threads (default: available CPUs; "
-                                  "REPRO_JOBS env overrides detection)")
+                                  "REPRO_JOBS env overrides detection; 0 "
+                                  "runs a coordinator for fleet runners "
+                                  "only)")
     p_svc_start.add_argument("--job-timeout", type=float, default=None,
                              metavar="SECONDS",
                              help="kill any job still running after this "
                                   "long (default: unlimited)")
+    p_svc_start.add_argument("--max-depth", type=int, default=None,
+                             metavar="N",
+                             help="back-pressure submissions (HTTP 429) "
+                                  "once N jobs are queued or running "
+                                  "(default: unbounded)")
+    p_svc_start.add_argument("--tenant-quota", type=int, default=None,
+                             metavar="N",
+                             help="cap each submitting tenant at N active "
+                                  "jobs (default: unbounded)")
     p_svc_start.set_defaults(func=cmd_service)
     p_svc_submit = service_sub.add_parser(
         "submit", help="submit a campaign spec file over HTTP")
@@ -479,15 +610,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_svc_submit.add_argument("--watch", action="store_true",
                               help="poll until the job finishes; exit 0 "
                                    "only if it passed")
+    p_svc_submit.add_argument("--tenant", default=None,
+                              help="submitter token the server keys its "
+                                   "per-tenant quota on")
     p_svc_status = service_sub.add_parser(
         "status", help="one job's record, or service stats without a job")
     p_svc_status.add_argument("job", nargs="?", default=None,
                               help="job id (unique prefix ok); omit for "
                                    "service-wide stats")
+    p_svc_stats = service_sub.add_parser(
+        "stats", help="queue/worker/store/fleet counters as a table")
     p_svc_watch = service_sub.add_parser(
         "watch", help="poll one job to completion")
     p_svc_watch.add_argument("job", help="job id (unique prefix ok)")
-    for p_sub in (p_svc_submit, p_svc_status, p_svc_watch):
+    for p_sub in (p_svc_submit, p_svc_status, p_svc_stats, p_svc_watch):
         p_sub.add_argument("--url", default="http://127.0.0.1:8642",
                            help="service endpoint "
                                 "(default: http://127.0.0.1:8642)")
@@ -498,6 +634,40 @@ def build_parser() -> argparse.ArgumentParser:
                            help="seconds to wait before giving up")
         p_sub.add_argument("--interval", type=float, default=0.5,
                            help="poll interval in seconds")
+
+    p_runner = sub.add_parser(
+        "runner", help="run a fleet runner against a campaign service")
+    runner_sub = p_runner.add_subparsers(dest="runner_command",
+                                         required=True)
+    p_runner_start = runner_sub.add_parser(
+        "start", help="claim, execute and upload jobs until interrupted")
+    p_runner_start.add_argument("--server", required=True, metavar="URL",
+                                help="coordinator endpoint, e.g. "
+                                     "http://127.0.0.1:8642")
+    p_runner_start.add_argument("--root", required=True, metavar="DIR",
+                                help="local campaign store directory "
+                                     "(created if missing; re-claimed "
+                                     "work resumes warm from it)")
+    p_runner_start.add_argument("--name", default=None,
+                                help="runner name shown in service stats "
+                                     "(default: <hostname>-<pid>)")
+    p_runner_start.add_argument("--ttl", type=float, default=30.0,
+                                metavar="SECONDS",
+                                help="lease TTL; heartbeats every ttl/3 "
+                                     "(default: 30)")
+    p_runner_start.add_argument("--poll", type=float, default=1.0,
+                                metavar="SECONDS",
+                                help="idle poll interval when the queue "
+                                     "is dry (default: 1)")
+    p_runner_start.add_argument("--max-jobs", type=int, default=None,
+                                metavar="N",
+                                help="exit after processing N jobs "
+                                     "(default: run until interrupted)")
+    p_runner_start.add_argument("--job-timeout", type=float, default=None,
+                                metavar="SECONDS",
+                                help="kill any job child still running "
+                                     "after this long")
+    p_runner_start.set_defaults(func=cmd_runner)
 
     p_workloads = sub.add_parser("workloads",
                                  help="list the registered workloads")

@@ -1,0 +1,35 @@
+"""repro.fleet — distributed runner fleet over the campaign service.
+
+Scales the single-host campaign service across N machines without a
+database or a message broker: the coordinator (the existing service
+daemon, optionally running zero local workers) leases jobs out over
+HTTP, remote :class:`~repro.fleet.runner.RunnerAgent` processes execute
+them with the same fork-isolated machinery the local pool uses, and
+results flow back as content-addressed store entries whose merge is
+idempotent by construction.  Lease TTLs + heartbeats + a monotonic
+per-job generation give crash-tolerance (a dead runner's jobs re-queue)
+and zombie-fencing (a superseded runner's late upload is dropped with
+HTTP 409) — see :mod:`repro.fleet.coordinator` for the protocol's
+server half.
+"""
+
+from repro.fleet.coordinator import (
+    DEFAULT_LEASE_TTL,
+    MAX_LEASE_TTL,
+    MIN_LEASE_TTL,
+    FleetCoordinator,
+    FleetState,
+    UploadError,
+)
+from repro.fleet.runner import RunnerAgent, default_runner_name
+
+__all__ = [
+    "DEFAULT_LEASE_TTL",
+    "MAX_LEASE_TTL",
+    "MIN_LEASE_TTL",
+    "FleetCoordinator",
+    "FleetState",
+    "RunnerAgent",
+    "UploadError",
+    "default_runner_name",
+]

@@ -1,0 +1,229 @@
+"""The fleet runner agent: claim, heartbeat, execute, upload, repeat.
+
+:class:`RunnerAgent` is the host-side half of the distributed runner
+protocol — a loop around the same fork-isolated child machinery the
+in-daemon worker pool uses (:func:`~repro.service.workers.spawn_job_child`
+/ :func:`~repro.service.workers.wait_job_child`), pointed at a **local**
+campaign store:
+
+1. ``POST /v1/claim`` leases one job (lease id + TTL + generation);
+2. a heartbeat thread extends the lease every ``ttl/3`` seconds — the
+   moment a heartbeat comes back 409 (the coordinator re-queued the job)
+   the in-flight child is **cancelled**: no point computing a result
+   whose upload would be fenced off anyway;
+3. the child executes the job against the runner's local store, getting
+   the same resume-from-store semantics as a local worker — a point the
+   runner computed last week is a warm hit today;
+4. the result envelope plus every store entry the job touched (the
+   child's recorded writes ∪ the job's campaign keys) is uploaded in
+   one ``POST /v1/jobs/<id>/result``; content-addressed keys make the
+   coordinator's merge idempotent, and the lease generation makes a
+   zombie's late upload a harmless 409.
+
+Crash-tolerance falls out of the lease discipline: kill a runner
+mid-job and its lease simply stops being heartbeaten; the coordinator's
+expiry sweep re-queues the job and a surviving runner finishes it,
+resuming from whatever points the store already holds.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import socket
+import threading
+from typing import Optional
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.workers import (
+    JobCancelled,
+    WorkerCrash,
+    spawn_job_child,
+    wait_job_child,
+)
+from repro.store import CampaignStore
+
+logger = logging.getLogger("repro.fleet")
+
+
+def default_runner_name() -> str:
+    """``<hostname>-<pid>``: unique enough for a fleet, readable in
+    ``repro service stats``."""
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+class RunnerAgent:
+    """One remote runner draining one coordinator into a local store."""
+
+    def __init__(self, server: str, store_root,
+                 name: Optional[str] = None,
+                 ttl: float = 30.0,
+                 poll_interval: float = 1.0,
+                 job_timeout: Optional[float] = None,
+                 client: Optional[ServiceClient] = None):
+        if ttl <= 0:
+            raise ValueError("ttl must be > 0 seconds")
+        if poll_interval <= 0:
+            raise ValueError("poll_interval must be > 0 seconds")
+        self.name = name or default_runner_name()
+        self.client = client or ServiceClient(server)
+        self.store = CampaignStore(store_root)
+        self.ttl = float(ttl)
+        self.poll_interval = float(poll_interval)
+        self.job_timeout = job_timeout
+        #: lifetime counters (mirrored into the runner's log lines)
+        self.jobs_done = 0
+        self.jobs_failed = 0
+        self.leases_lost = 0
+        self.entries_uploaded = 0
+
+    # -- loop ---------------------------------------------------------------------
+
+    def run_once(self) -> bool:
+        """Claim and finish (or lose) one job; False when the queue is
+        dry."""
+        job = self.client.claim(self.name, ttl=self.ttl)
+        if job is None:
+            return False
+        self._process(job)
+        return True
+
+    def run_forever(self, stop: Optional[threading.Event] = None,
+                    max_jobs: Optional[int] = None) -> int:
+        """Drain the coordinator until ``stop`` is set (or ``max_jobs``
+        processed); returns how many jobs this call processed."""
+        stop = stop or threading.Event()
+        processed = 0
+        while not stop.is_set():
+            if max_jobs is not None and processed >= max_jobs:
+                break
+            try:
+                worked = self.run_once()
+            except ServiceError as exc:
+                if exc.status == 0:  # coordinator unreachable: back off
+                    logger.warning("runner %s: %s; retrying", self.name,
+                                   exc)
+                    stop.wait(self.poll_interval)
+                    continue
+                raise
+            if worked:
+                processed += 1
+            else:
+                stop.wait(self.poll_interval)
+        return processed
+
+    # -- one job ------------------------------------------------------------------
+
+    def _process(self, job: dict) -> None:
+        lease = job["lease"]
+        generation = job["generation"]
+        cancel = threading.Event()
+        hb_stop = threading.Event()
+        heartbeater = threading.Thread(
+            target=self._heartbeat_loop,
+            args=(job["id"], lease, generation, cancel, hb_stop),
+            name=f"repro-runner-heartbeat-{job['id'][:8]}", daemon=True)
+        heartbeater.start()
+        try:
+            verdict, payload = self._execute(job, cancel)
+        except JobCancelled:
+            # The coordinator already re-queued this job (heartbeat came
+            # back 409); nothing to upload.
+            self.leases_lost += 1
+            logger.info("runner %s: lost lease on job %s mid-run",
+                        self.name, job["id"][:12])
+            return
+        finally:
+            hb_stop.set()
+            heartbeater.join()
+        entries = self._collect_entries(job, payload if verdict == "ok"
+                                        else None)
+        try:
+            self.client.upload_result(
+                job["id"], lease["id"], generation, verdict,
+                result=payload if verdict == "ok" else None,
+                error=payload if verdict == "error" else None,
+                entries=entries)
+        except ServiceError as exc:
+            if exc.status == 409:
+                # Fenced: a newer claim owns the job now.  The work is
+                # not wasted — it lives in our local store and resumes
+                # warm if we re-claim.
+                self.leases_lost += 1
+                logger.info("runner %s: upload for job %s dropped as "
+                            "stale (%s)", self.name, job["id"][:12], exc)
+                return
+            raise
+        self.entries_uploaded += len(entries)
+        if verdict == "ok":
+            self.jobs_done += 1
+        else:
+            self.jobs_failed += 1
+
+    def _execute(self, job: dict, cancel: threading.Event
+                 ) -> tuple[str, dict]:
+        try:
+            process, conn = spawn_job_child(job, str(self.store.root))
+            return wait_job_child(process, conn, job,
+                                  job_timeout=self.job_timeout,
+                                  cancel=cancel)
+        except WorkerCrash as exc:
+            return "error", {"type": "WorkerCrash", "message": str(exc)}
+
+    # -- heartbeats ---------------------------------------------------------------
+
+    def _heartbeat_loop(self, job_id: str, lease: dict, generation: int,
+                        cancel: threading.Event,
+                        hb_stop: threading.Event) -> None:
+        """Extend the lease every ``ttl/3``s; on 409, cancel the child.
+
+        An *unreachable* coordinator is tolerated: the lease may still
+        be extended on a later beat, and if it is not, the upload's 409
+        settles the matter — cancelling on a transient network blip
+        would throw away good work.
+        """
+        interval = max(0.2, lease["ttl"] / 3.0)
+        while not hb_stop.wait(interval):
+            try:
+                self.client.heartbeat(job_id, lease["id"],
+                                      generation=generation)
+            except ServiceError as exc:
+                if exc.status in (404, 409):
+                    cancel.set()
+                    return
+                logger.warning("runner %s: heartbeat for job %s failed "
+                               "(%s); will retry", self.name,
+                               job_id[:12], exc)
+
+    # -- uploads ------------------------------------------------------------------
+
+    def _collect_entries(self, job: dict,
+                         result: Optional[dict]) -> dict[str, dict]:
+        """Every store envelope this job produced, keyed by content
+        address.
+
+        The union of the child's recorded writes (``store_keys`` in the
+        result document — only serial writes survive the fork boundary)
+        and the job's own campaign keys recomputed here, so parallel
+        sweep points are uploaded too.  Keys the local store cannot
+        produce a valid envelope for are skipped — the coordinator
+        re-queues on expiry if the result was thereby incomplete.
+        """
+        keys = set((result or {}).get("store_keys") or [])
+        try:
+            from repro.api.campaign import Campaign
+            from repro.api.spec import CampaignSpec
+
+            spec = CampaignSpec.from_dict(job["spec"])
+            points = (Campaign.sweep_specs(spec, job["sweep"])
+                      if job.get("sweep") else [spec])
+            keys.update(self.store.campaign_key(point)
+                        for point in points)
+        except Exception:  # noqa: BLE001 — an unparseable spec already
+            pass           # failed in the child; upload what we have
+        entries = {}
+        for key in sorted(keys):
+            envelope = self.store.get(key)
+            if envelope is not None:
+                entries[key] = envelope
+        return entries

@@ -26,26 +26,36 @@ Every result payload served by the API comes straight from the campaign
 store: the queue records *where* a result lives (content addresses), not
 the result itself, so a repeat submission of an already-verified spec is
 answered warm with zero recomputation.
+
+The service also scales *out*: :mod:`repro.fleet` adds a lease-based
+runner protocol (``POST /v1/claim`` / ``/v1/heartbeat`` / result
+uploads) on top of the same queue, so remote hosts drain the very jobs
+local workers would — run the daemon with ``workers=0`` for a pure
+coordinator.
 """
 
 from repro.service.client import ServiceClient, ServiceError
-from repro.service.daemon import CampaignService
+from repro.service.daemon import Backpressure, CampaignService
 from repro.service.queue import (
     JOB_SCHEMA,
     JOB_STATES,
     TERMINAL_STATES,
     JobQueue,
+    StaleLease,
     job_key,
 )
-from repro.service.workers import WorkerCrash, WorkerPool
+from repro.service.workers import JobCancelled, WorkerCrash, WorkerPool
 
 __all__ = [
+    "Backpressure",
     "CampaignService",
     "JOB_SCHEMA",
     "JOB_STATES",
+    "JobCancelled",
     "JobQueue",
     "ServiceClient",
     "ServiceError",
+    "StaleLease",
     "TERMINAL_STATES",
     "WorkerCrash",
     "WorkerPool",

@@ -9,6 +9,7 @@ dependencies, mirroring the server side.
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
@@ -67,8 +68,15 @@ class ServiceClient:
 
     def submit(self, spec: Mapping[str, Any],
                sweep: Optional[Mapping[str, list]] = None,
-               priority: int = 0, jobs: int = 1) -> dict:
-        """POST one submission; returns the job record (+ ``coalesced``)."""
+               priority: int = 0, jobs: int = 1,
+               tenant: Optional[str] = None) -> dict:
+        """POST one submission; returns the job record (+ ``coalesced``).
+
+        ``tenant`` is the optional submitter token the server keys its
+        per-tenant quota on; a full queue or an exhausted quota raises
+        :class:`ServiceError` with ``status == 429`` and a
+        ``retry_after`` hint (seconds).
+        """
         body: dict[str, Any] = {"spec": dict(spec)}
         if sweep is not None:
             body["sweep"] = {key: list(values)
@@ -77,7 +85,45 @@ class ServiceClient:
             body["priority"] = priority
         if jobs != 1:
             body["jobs"] = jobs
+        if tenant is not None:
+            body["tenant"] = tenant
         return self._request("POST", "/v1/jobs", body)
+
+    # -- fleet runner protocol ----------------------------------------------------
+
+    def claim(self, runner: str, ttl: Optional[float] = None
+              ) -> Optional[dict]:
+        """Claim one job under a TTL lease; None when the queue is dry."""
+        body: dict[str, Any] = {"runner": runner}
+        if ttl is not None:
+            body["ttl"] = ttl
+        return self._request("POST", "/v1/claim", body)["job"]
+
+    def heartbeat(self, job_id: str, lease_id: str,
+                  generation: Optional[int] = None) -> dict:
+        """Extend a lease; 409 :class:`ServiceError` when it was lost."""
+        body: dict[str, Any] = {"job_id": job_id, "lease_id": lease_id}
+        if generation is not None:
+            body["generation"] = generation
+        return self._request("POST", "/v1/heartbeat", body)
+
+    def upload_result(self, job_id: str, lease_id: str, generation: int,
+                      verdict: str,
+                      result: Optional[Mapping[str, Any]] = None,
+                      error: Optional[Mapping[str, Any]] = None,
+                      entries: Optional[Mapping[str, Any]] = None) -> dict:
+        """Upload one finished job: verdict + store entries, fenced by
+        the claim's lease id and generation (409 when superseded)."""
+        body: dict[str, Any] = {"lease_id": lease_id,
+                                "generation": generation,
+                                "verdict": verdict}
+        if result is not None:
+            body["result"] = dict(result)
+        if error is not None:
+            body["error"] = dict(error)
+        if entries is not None:
+            body["entries"] = dict(entries)
+        return self._request("POST", f"/v1/jobs/{job_id}/result", body)
 
     def get(self, job_id: str, payload: bool = True) -> dict:
         suffix = "" if payload else "?payload=0"
@@ -99,11 +145,16 @@ class ServiceClient:
         return self._request("POST", f"/v1/prune?keep_last={keep_last}", {})
 
     def wait(self, job_id: str, timeout: float = 600.0,
-             interval: float = 0.2, payload: bool = True) -> dict:
+             interval: float = 0.2, payload: bool = True,
+             max_interval: float = 5.0) -> dict:
         """Poll until the job reaches a terminal state; return its record.
 
-        Raises :class:`TimeoutError` (naming the job and its last seen
-        state) if the deadline passes first.  Waiting never raises on a
+        Polling backs off exponentially from ``interval`` (×1.6 per
+        probe, capped at ``max_interval``) with ±25% jitter, so many
+        waiters on one coordinator neither hammer it on long jobs nor
+        synchronise their probes into bursts.  Raises
+        :class:`TimeoutError` (naming the job and its last seen state)
+        if the deadline passes first.  Waiting never raises on a
         *failed* job — the caller inspects ``status``/``error``.  With
         ``payload=True`` the returned record always carries a
         ``"payload"`` key, but its value can be None: for failed jobs,
@@ -116,12 +167,18 @@ class ServiceClient:
         # Poll with the record's full id: a prefix would pay the
         # server's whole-directory resolve scan on every iteration.
         job_id = job["id"]
+        pause = interval
         while job["status"] not in TERMINAL_STATES:
             if time.monotonic() >= deadline:
                 raise TimeoutError(
                     f"job {job_id[:12]} still {job['status']!r} after "
                     f"{timeout:.0f}s")
-            time.sleep(interval)
+            # Jitter around the current backoff step, never past the
+            # deadline (so the timeout stays sharp, not timeout+pause).
+            sleep_for = min(pause * random.uniform(0.75, 1.25),
+                            max(0.0, deadline - time.monotonic()))
+            time.sleep(sleep_for)
+            pause = min(pause * 1.6, max_interval)
             job = self.get(job_id, payload=False)
         if payload:
             final = self.get(job_id, payload=True)

@@ -23,7 +23,7 @@ from typing import Any, Mapping, Optional
 
 from repro.api.campaign import Campaign
 from repro.api.spec import CampaignSpec
-from repro.service.queue import JobQueue, job_summary
+from repro.service.queue import JobQueue, job_key, job_summary
 from repro.service.workers import WorkerPool
 from repro.store import CampaignStore
 from repro.workloads import registry_info
@@ -38,12 +38,29 @@ class SubmissionError(ValueError):
     """A submission document that cannot become a job (HTTP 400)."""
 
 
+class Backpressure(RuntimeError):
+    """The frontend is refusing new enqueues right now (HTTP 429).
+
+    Carries ``retry_after`` — the seconds the client should wait before
+    retrying, surfaced as the response's ``Retry-After`` header.
+    Coalescing submissions (the job is already queued or running) are
+    *never* back-pressured: they add no work, only an extra waiter.
+    """
+
+    def __init__(self, message: str, retry_after: float):
+        super().__init__(message)
+        self.retry_after = max(1, int(round(retry_after)))
+
+
 class CampaignService:
     """One long-lived campaign-serving daemon."""
 
     def __init__(self, root, host: str = "127.0.0.1", port: int = 0,
                  workers: Optional[int] = None,
-                 job_timeout: Optional[float] = None):
+                 job_timeout: Optional[float] = None,
+                 max_depth: Optional[int] = None,
+                 tenant_quota: Optional[int] = None,
+                 lease_sweep_interval: float = 1.0):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         # One daemon per root: an advisory flock held for the daemon's
@@ -64,12 +81,32 @@ class CampaignService:
                 f"another campaign service is already running on "
                 f"{self.root} (daemon.lock is held); stop it first or "
                 f"use a different --root") from None
+        if max_depth is not None and max_depth < 1:
+            raise ValueError("max_depth must be >= 1 (or None)")
+        if tenant_quota is not None and tenant_quota < 1:
+            raise ValueError("tenant_quota must be >= 1 (or None)")
+        if lease_sweep_interval <= 0:
+            raise ValueError("lease_sweep_interval must be > 0 seconds")
         self.store = CampaignStore(self.root / "store")
         self.queue = JobQueue(self.root / "queue")
-        #: jobs re-queued on startup after an unclean shutdown
+        #: jobs re-queued on startup after an unclean shutdown (running
+        #: jobs holding a still-live remote lease are left alone)
         self.recovered: list[str] = self.queue.recover()
-        self.pool = WorkerPool(self.queue, str(self.store.root),
-                               workers=workers, job_timeout=job_timeout)
+        #: ``workers=0`` makes a pure coordinator: no local pool, jobs
+        #: are only executed by fleet runners claiming over HTTP.
+        self.pool = (None if workers == 0 else
+                     WorkerPool(self.queue, str(self.store.root),
+                                workers=workers, job_timeout=job_timeout))
+        # Imported here (like build_server below): repro.fleet imports
+        # from repro.service, so a module-level import would be circular.
+        from repro.fleet.coordinator import FleetCoordinator
+
+        self.fleet = FleetCoordinator(self.queue, self.store)
+        self.max_depth = max_depth
+        self.tenant_quota = tenant_quota
+        self.lease_sweep_interval = lease_sweep_interval
+        self._sweep_stop = threading.Event()
+        self._sweep_thread: Optional[threading.Thread] = None
         self.started_at = time.time()
         from repro.service.http import build_server
 
@@ -90,13 +127,25 @@ class CampaignService:
         to observe queued-state behaviour (coalescing, cancellation)
         deterministically.
         """
-        if workers:
+        if workers and self.pool is not None:
             self.pool.start()
+        # The lease-expiry sweep keeps the fleet honest even while no
+        # runner is claiming (claims also sweep lazily, but an idle
+        # coordinator must still re-queue a dead runner's jobs).
+        self._sweep_stop.clear()
+        self._sweep_thread = threading.Thread(
+            target=self._lease_sweep_loop,
+            name="repro-service-lease-sweep", daemon=True)
+        self._sweep_thread.start()
         self._http_thread = threading.Thread(
             target=self.server.serve_forever,
             name="repro-service-http", daemon=True)
         self._http_thread.start()
         return self
+
+    def _lease_sweep_loop(self) -> None:
+        while not self._sweep_stop.wait(self.lease_sweep_interval):
+            self.fleet.expire()
 
     def stop(self) -> None:
         """Shut the HTTP server down and let in-flight jobs finish."""
@@ -105,7 +154,11 @@ class CampaignService:
         if self._http_thread is not None:
             self._http_thread.join()
             self._http_thread = None
-        if self.pool.running:
+        self._sweep_stop.set()
+        if self._sweep_thread is not None:
+            self._sweep_thread.join()
+            self._sweep_thread = None
+        if self.pool is not None and self.pool.running:
             self.pool.stop(wait=True)
         if not self._lock_file.closed:
             self._lock_file.close()  # releases the root's daemon.lock
@@ -136,11 +189,15 @@ class CampaignService:
         sweep = payload.pop("sweep", None)
         priority = payload.pop("priority", 0)
         jobs = payload.pop("jobs", 1)
+        tenant = payload.pop("tenant", None)
         unknown = set(payload)
         if unknown:
             raise SubmissionError(
                 f"unknown submission fields: {sorted(unknown)} "
-                f"(expected spec/sweep/priority/jobs)")
+                f"(expected spec/sweep/priority/jobs/tenant)")
+        if tenant is not None and (not isinstance(tenant, str)
+                                   or not tenant):
+            raise SubmissionError("tenant must be a non-empty string")
         if not isinstance(priority, int) or isinstance(priority, bool):
             raise SubmissionError("priority must be an integer")
         if not isinstance(jobs, int) or isinstance(jobs, bool) or jobs < 1:
@@ -161,8 +218,41 @@ class CampaignService:
                 Campaign.sweep_specs(spec, sweep)
             except (ValueError, KeyError, TypeError) as exc:
                 raise SubmissionError(f"invalid sweep grid: {exc}") from exc
+        self._check_backpressure(spec, sweep, tenant)
         return self.queue.submit(spec, sweep=sweep, priority=priority,
-                                 jobs=jobs)
+                                 jobs=jobs, tenant=tenant)
+
+    def _check_backpressure(self, spec, sweep,
+                            tenant: Optional[str]) -> None:
+        """Raise :class:`Backpressure` (429) if this submission would
+        *enqueue* past a limit.
+
+        A submission that coalesces onto an already-active job is always
+        let through — it adds a waiter, not work — so the check first
+        looks the content-addressed job id up.
+        """
+        if self.max_depth is None and (self.tenant_quota is None
+                                       or tenant is None):
+            return
+        existing = self.queue.get(job_key(spec, sweep))
+        if existing is not None and existing["status"] in ("queued",
+                                                           "running"):
+            return  # coalesce: no new work enters the queue
+        depth = self.queue.depth()
+        if self.max_depth is not None and depth >= self.max_depth:
+            # Scale the hint with the backlog: a deeper queue drains
+            # more slowly, so tell the client to stay away longer.
+            raise Backpressure(
+                f"queue is full ({depth} jobs >= max depth "
+                f"{self.max_depth}); retry later",
+                retry_after=min(60.0, max(1.0, float(depth))))
+        if self.tenant_quota is not None and tenant is not None:
+            active = self.queue.active_by_tenant().get(tenant, 0)
+            if active >= self.tenant_quota:
+                raise Backpressure(
+                    f"tenant {tenant!r} already has {active} active "
+                    f"jobs (quota {self.tenant_quota}); retry later",
+                    retry_after=5.0)
 
     # -- reads --------------------------------------------------------------------
 
@@ -223,7 +313,7 @@ class CampaignService:
         return {
             "schema": HEALTH_SCHEMA,
             "ok": True,
-            "workers": self.pool.workers,
+            "workers": self.pool.workers if self.pool is not None else 0,
             "queue_depth": self.queue.depth(),
         }
 
@@ -245,7 +335,11 @@ class CampaignService:
             "schema": STATS_SCHEMA,
             "queue": {"depth": queue["depth"],
                       "by_status": queue["by_status"]},
-            "workers": self.pool.stats(),
+            "workers": (self.pool.stats() if self.pool is not None else
+                        {"total": 0, "busy": 0, "jobs_done": 0,
+                         "jobs_failed": 0, "points_hit": 0,
+                         "points_executed": 0, "points_retried": 0}),
+            "fleet": self.fleet.stats(),
             # Campaign execution happens in worker *children* (their
             # store traffic is the pool's points_* counters above); the
             # daemon's own handle only serves payload reads, so report

@@ -15,14 +15,28 @@ Routes (all under ``/v1``, all JSON in and out)::
                              results stay in the store — a pruned spec
                              re-queues warm on its next submission
     GET    /v1/healthz       liveness + queue depth
-    GET    /v1/stats         queue/worker/store/per-workload counters
+    GET    /v1/stats         queue/worker/fleet/store/per-workload counters
+
+Fleet runner protocol (see :mod:`repro.fleet`)::
+
+    POST   /v1/claim             {"runner", "ttl"} -> {"job": record|null};
+                                 the record carries the lease (id, TTL,
+                                 expiry) and the claim's generation
+    POST   /v1/heartbeat         {"job_id", "lease_id", "generation"}
+                                 extends the lease; 409 when it was lost
+    POST   /v1/jobs/<id>/result  {"lease_id", "generation", "verdict",
+                                 "result"|"error", "entries"} merges the
+                                 runner's store entries and finishes the
+                                 job; 409 fences a zombie's stale upload
 
 Errors are ``{"error": {"type": ..., "message": ...}}`` with the obvious
-status codes (400 malformed, 404 unknown, 409 conflict).  The server is
-a ``ThreadingHTTPServer``: requests are served concurrently with each
-other and with the worker pool, which is safe because every queue
-mutation goes through :class:`~repro.service.queue.JobQueue`'s lock and
-every store read is of immutable content-addressed entries.
+status codes (400 malformed, 404 unknown, 409 conflict/stale-lease, 429
+back-pressured — with a ``Retry-After`` header and a ``retry_after``
+field).  The server is a ``ThreadingHTTPServer``: requests are served
+concurrently with each other and with the worker pool, which is safe
+because every queue mutation goes through
+:class:`~repro.service.queue.JobQueue`'s lock and every store read is of
+immutable content-addressed entries.
 """
 
 from __future__ import annotations
@@ -30,15 +44,21 @@ from __future__ import annotations
 import json
 import logging
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
 from urllib.parse import parse_qs, urlsplit
 
-from repro.service.daemon import SubmissionError
+from repro.fleet.coordinator import UploadError
+from repro.service.daemon import Backpressure, SubmissionError
+from repro.service.queue import StaleLease
 
 logger = logging.getLogger("repro.service")
 
 #: Largest request body accepted, to keep a stray client from ballooning
 #: the daemon (a full sweep submission is a few KB).
 MAX_BODY_BYTES = 4 * 1024 * 1024
+#: Result uploads carry whole store entries for every point of a sweep,
+#: so they get a far larger (but still bounded) allowance.
+MAX_UPLOAD_BYTES = 64 * 1024 * 1024
 
 
 class ServiceRequestHandler(BaseHTTPRequestHandler):
@@ -53,11 +73,14 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
 
     # -- response plumbing --------------------------------------------------------
 
-    def _send_json(self, code: int, document: dict) -> None:
+    def _send_json(self, code: int, document: dict,
+                   headers: Optional[dict] = None) -> None:
         body = json.dumps(document, indent=2, sort_keys=True).encode("utf-8")
         self.send_response(code)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, str(value))
         self.end_headers()
         self.wfile.write(body)
 
@@ -67,7 +90,7 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         logger.debug("%s - %s", self.address_string(), format % args)
 
-    def _read_body(self) -> dict:
+    def _read_body(self, limit: int = MAX_BODY_BYTES) -> dict:
         try:
             length = int(self.headers.get("Content-Length", 0) or 0)
         except ValueError:
@@ -76,10 +99,10 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             # rfile.read(-1) would block on the open socket until the
             # client hangs up; refuse instead.
             raise SubmissionError("invalid Content-Length header")
-        if length > MAX_BODY_BYTES:
+        if length > limit:
             raise SubmissionError(
                 f"request body of {length} bytes exceeds the "
-                f"{MAX_BODY_BYTES}-byte limit")
+                f"{limit}-byte limit")
         raw = self.rfile.read(length) if length else b""
         if not raw:
             raise SubmissionError("request body must be a JSON object")
@@ -180,6 +203,16 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                                   "removed": removed,
                                   "keep_last": keep_last})
             return
+        if parts == ["v1", "claim"]:
+            self._post_claim()
+            return
+        if parts == ["v1", "heartbeat"]:
+            self._post_heartbeat()
+            return
+        if (len(parts) == 4 and parts[:2] == ["v1", "jobs"]
+                and parts[3] == "result"):
+            self._post_result(parts[2])
+            return
         if parts != ["v1", "jobs"]:
             self._send_error_json(404, "NotFound",
                                   f"no route for POST {url.path}")
@@ -190,8 +223,76 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         except SubmissionError as exc:
             self._send_error_json(400, "SubmissionError", str(exc))
             return
+        except Backpressure as exc:
+            self._send_json(
+                429,
+                {"error": {"type": "Backpressure", "message": str(exc),
+                           "retry_after": exc.retry_after}},
+                headers={"Retry-After": exc.retry_after})
+            return
         self._send_json(200 if coalesced else 201,
                         {**job, "coalesced": coalesced})
+
+    # -- fleet runner protocol ----------------------------------------------------
+
+    def _post_claim(self) -> None:
+        try:
+            body = self._read_body()
+            job = self.service.fleet.claim(body.get("runner"),
+                                           ttl=body.get("ttl"))
+        except (SubmissionError, ValueError, TypeError) as exc:
+            self._send_error_json(400, "BadRequest", str(exc))
+            return
+        self._send_json(200, {"schema": "repro.service_claim/v1",
+                              "job": job})
+
+    def _post_heartbeat(self) -> None:
+        try:
+            body = self._read_body()
+            job_id = body.get("job_id")
+            lease_id = body.get("lease_id")
+            if not isinstance(job_id, str) or not isinstance(lease_id,
+                                                             str):
+                raise SubmissionError(
+                    "heartbeat requires string job_id and lease_id")
+            job = self.service.fleet.heartbeat(
+                job_id, lease_id, generation=body.get("generation"))
+        except SubmissionError as exc:
+            self._send_error_json(400, "BadRequest", str(exc))
+            return
+        except KeyError as exc:
+            self._send_error_json(404, "NotFound", str(exc.args[0]))
+            return
+        except StaleLease as exc:
+            self._send_error_json(409, "StaleLease", str(exc))
+            return
+        self._send_json(200, {"schema": "repro.service_heartbeat/v1",
+                              "job_id": job["id"],
+                              "generation": job["generation"],
+                              "lease": {
+                                  "id": job["lease"]["id"],
+                                  "ttl": job["lease"]["ttl"],
+                                  "expires_at": job["lease"]["expires_at"],
+                              }})
+
+    def _post_result(self, raw_id: str) -> None:
+        try:
+            body = self._read_body(limit=MAX_UPLOAD_BYTES)
+            job_id = self._resolve_job_id(raw_id)
+            record = self.service.fleet.upload(job_id, body)
+        except (SubmissionError, UploadError) as exc:
+            self._send_error_json(400, "BadRequest", str(exc))
+            return
+        except KeyError as exc:
+            self._send_error_json(404, "NotFound", str(exc.args[0]))
+            return
+        except StaleLease as exc:
+            self._send_error_json(409, "StaleLease", str(exc))
+            return
+        except ValueError as exc:
+            self._send_error_json(400, "BadRequest", str(exc))
+            return
+        self._send_json(200, record)
 
     def _delete(self) -> None:
         url = urlsplit(self.path)

@@ -18,20 +18,36 @@ State machine::
 
     queued --claim--> running --complete--> done
       |                  |------fail------> failed
+      |                  |---lease expiry-> queued   (re-lease, survivor)
       |------cancel----> cancelled
     (done|failed|cancelled) --submit--> queued   (re-queue, attempts += 1)
 
+Leases: a claim may carry a TTL, in which case the job is *leased* to
+the claiming runner — a ``lease`` document (unique id, runner name,
+expiry stamp) rides on the record, and the record's monotonic
+``generation`` counter is bumped.  :meth:`JobQueue.heartbeat` extends a
+live lease; :meth:`JobQueue.expire_leases` re-queues jobs whose lease
+lapsed (a dead or partitioned runner), so survivors re-claim them.  A
+re-claim bumps the generation, which is what fences **zombie runners**:
+completing or failing a job with an explicit lease id/generation only
+succeeds while that lease is still the job's current one — a stale
+upload raises :class:`StaleLease` and is dropped.
+
 Crash recovery: a job that was ``running`` when the daemon died is still
 ``running`` on disk; :meth:`JobQueue.recover` (called by the daemon on
-startup) re-queues every such job.  Completed jobs are never touched.
+startup) re-queues every such job whose lease is missing or already
+expired — jobs leased to a *remote* runner that is still heartbeating
+within its TTL survive a coordinator restart untouched.  Completed jobs
+are never touched.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+import uuid
 from pathlib import Path
-from typing import Any, Mapping, Optional
+from typing import Any, Iterable, Mapping, Optional
 
 from repro.store import (
     campaign_identity,
@@ -51,6 +67,17 @@ JOB_SCHEMA = "repro.service_job/v1"
 JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
 #: States a job never leaves on its own (re-submission re-queues them).
 TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
+
+
+class StaleLease(ValueError):
+    """A lease-authenticated operation lost the race to a newer lease.
+
+    Raised when a heartbeat or a result upload presents a lease id or
+    generation that is no longer the job's current one — the lease
+    expired and the job was re-leased (or finished) by someone else.
+    The zombie's work is simply dropped; the store merge of any entries
+    it already uploaded is harmless because they are content-addressed.
+    """
 
 
 def job_key(spec, sweep: Optional[Mapping[str, Any]] = None) -> str:
@@ -192,7 +219,8 @@ class JobQueue:
     # -- submission ---------------------------------------------------------------
 
     def submit(self, spec, sweep: Optional[Mapping[str, Any]] = None,
-               priority: int = 0, jobs: int = 1) -> tuple[dict, bool]:
+               priority: int = 0, jobs: int = 1,
+               tenant: Optional[str] = None) -> tuple[dict, bool]:
         """Enqueue one request; returns ``(record, coalesced)``.
 
         ``coalesced=True`` means an identical request was already queued
@@ -202,7 +230,9 @@ class JobQueue:
         re-queues the same job id with ``attempts`` bumped; the worker
         then answers it warm from the store.  ``jobs`` is the worker
         process fan-out *within* the job's sweep (clamped downstream by
-        :func:`repro.api.campaign._available_cpus`).
+        :func:`repro.api.campaign._available_cpus`).  ``tenant`` is the
+        (optional) submitter token the per-tenant quota is charged to; a
+        coalesced duplicate stays on the original submitter's budget.
         """
         sweep_doc = ({k: list(v) for k, v in sweep.items()}
                      if sweep else None)
@@ -216,6 +246,8 @@ class JobQueue:
                     self._save(existing)
                 return existing, True
             attempts = existing["attempts"] if existing is not None else 0
+            generation = (existing.get("generation", 0)
+                          if existing is not None else 0)
             record = {
                 "schema": JOB_SCHEMA,
                 "id": job_id,
@@ -228,7 +260,12 @@ class JobQueue:
                 "jobs": max(1, int(jobs)),
                 "name": spec.name,
                 "workload": spec.workload,
+                "tenant": tenant,
                 "attempts": attempts,
+                # Never reset across re-queues: the generation fences
+                # zombie uploads from *any* earlier lease of this id.
+                "generation": generation,
+                "lease": None,
                 "submitted_at": time.time(),
                 "started_at": None,
                 "finished_at": None,
@@ -244,13 +281,23 @@ class JobQueue:
 
     # -- worker-side transitions --------------------------------------------------
 
-    def claim(self, worker: str) -> Optional[dict]:
+    def claim(self, worker: str,
+              ttl: Optional[float] = None) -> Optional[dict]:
         """Atomically move the best queued job to ``running``.
 
         "Best" is highest priority first, then FIFO by submission
         sequence.  Returns the updated record, or None when nothing is
-        queued.
+        queued.  With ``ttl`` the claim is *leased*: the record carries
+        a unique lease id that must be kept alive by
+        :meth:`heartbeat` within ``ttl`` seconds, or
+        :meth:`expire_leases` hands the job to the next claimer.
+        Without a TTL (the in-process worker pool) the claim never
+        expires — the daemon itself supervises those workers.  Either
+        way the job's ``generation`` is bumped, fencing any earlier
+        lease's uploads.
         """
+        if ttl is not None and ttl <= 0:
+            raise ValueError("lease ttl must be > 0 seconds (or None)")
         with self._lock:
             if not self._queued:  # idle fast path: no disk touched
                 return None
@@ -268,16 +315,117 @@ class JobQueue:
             job["worker"] = worker
             job["started_at"] = time.time()
             job["attempts"] += 1
+            job["generation"] = job.get("generation", 0) + 1
+            if ttl is not None:
+                job["lease"] = {
+                    "id": uuid.uuid4().hex,
+                    "runner": worker,
+                    "ttl": float(ttl),
+                    "expires_at": time.time() + float(ttl),
+                }
+            else:
+                job["lease"] = None
             job = self._save(job)
             self._queued.discard(job["id"])  # only once journaled
             return job
 
-    def _finish(self, job_id: str, status: str, *, result=None,
-                error=None) -> dict:
+    def heartbeat(self, job_id: str, lease_id: str,
+                  generation: Optional[int] = None) -> dict:
+        """Extend a live lease by its TTL; returns the updated record.
+
+        Raises :class:`StaleLease` when the job is no longer running
+        under this lease — unknown/mismatched lease id, superseded
+        generation, or a lease that already lapsed (in which case the
+        job is re-queued right here rather than waiting for the next
+        expiry sweep: the runner now *knows* it lost the job).
+        """
         with self._lock:
             job = self.get(job_id)
             if job is None:
                 raise KeyError(f"no job {job_id!r}")
+            self._check_lease(job, lease_id, generation)
+            lease = job["lease"]
+            if lease["expires_at"] <= time.time():
+                self._requeue_locked(job)
+                raise StaleLease(
+                    f"job {job_id[:12]}: lease {lease_id[:8]} expired "
+                    f"before this heartbeat; the job was re-queued")
+            lease["expires_at"] = time.time() + lease["ttl"]
+            return self._save(job)
+
+    def check_lease(self, job_id: str, lease_id: str,
+                    generation: Optional[int] = None) -> dict:
+        """Assert ``lease_id``/``generation`` still own ``job_id``.
+
+        Returns the job record; raises :exc:`KeyError` for an unknown
+        job and :class:`StaleLease` for a lost lease.  Lets callers
+        fence cheap pre-checks (e.g. before merging an upload's store
+        entries) — the authoritative check still happens inside
+        :meth:`complete`/:meth:`fail` under the lock.
+        """
+        with self._lock:
+            job = self.get(job_id)
+            if job is None:
+                raise KeyError(f"no job {job_id!r}")
+            self._check_lease(job, lease_id, generation)
+            return job
+
+    def _check_lease(self, job: dict, lease_id: Optional[str],
+                     generation: Optional[int]) -> None:
+        """Raise :class:`StaleLease` unless ``lease_id``/``generation``
+        name the job's *current* lease."""
+        if lease_id is not None:
+            lease = job.get("lease")
+            if (job["status"] != "running" or lease is None
+                    or lease["id"] != lease_id):
+                raise StaleLease(
+                    f"job {job['id'][:12]} is no longer running under "
+                    f"lease {lease_id[:8]} (status {job['status']!r}); "
+                    f"stale work dropped")
+        if generation is not None and \
+                generation != job.get("generation", 0):
+            raise StaleLease(
+                f"job {job['id'][:12]}: generation {generation} is stale "
+                f"(current {job.get('generation', 0)}); work dropped")
+
+    def _requeue_locked(self, job: dict) -> dict:
+        """``running -> queued`` (lease lapsed / daemon died); lock held."""
+        job["status"] = "queued"
+        job["worker"] = None
+        job["started_at"] = None
+        job["lease"] = None
+        job = self._save(job)
+        self._queued.add(job["id"])
+        return job
+
+    def expire_leases(self, now: Optional[float] = None) -> list[str]:
+        """Re-queue every running job whose lease has lapsed.
+
+        The generalization of :meth:`recover` that makes a *fleet*
+        crash-tolerant: a runner that died, hung, or got partitioned
+        away simply stops heartbeating, and its jobs are re-claimed by
+        the survivors.  The campaign store keeps whatever points the
+        lost runner already uploaded, so the re-run resumes rather than
+        restarts.  Returns the re-queued job ids.
+        """
+        now = time.time() if now is None else now
+        requeued = []
+        with self._lock:
+            for job in self.list(status="running"):
+                lease = job.get("lease")
+                if lease is not None and lease["expires_at"] <= now:
+                    self._requeue_locked(job)
+                    requeued.append(job["id"])
+        return requeued
+
+    def _finish(self, job_id: str, status: str, *, result=None,
+                error=None, lease_id: Optional[str] = None,
+                generation: Optional[int] = None) -> dict:
+        with self._lock:
+            job = self.get(job_id)
+            if job is None:
+                raise KeyError(f"no job {job_id!r}")
+            self._check_lease(job, lease_id, generation)
             if job["status"] != "running":
                 raise ValueError(
                     f"job {job_id[:12]} is {job['status']!r}, not running; "
@@ -285,18 +433,31 @@ class JobQueue:
             job["status"] = status
             job["result"] = result
             job["error"] = error
+            job["lease"] = None
             job["finished_at"] = time.time()
             return self._save(job)
 
-    def complete(self, job_id: str, result: dict) -> dict:
-        """``running -> done`` with the job's result bookkeeping."""
-        return self._finish(job_id, "done", result=result)
+    def complete(self, job_id: str, result: dict,
+                 lease_id: Optional[str] = None,
+                 generation: Optional[int] = None) -> dict:
+        """``running -> done`` with the job's result bookkeeping.
 
-    def fail(self, job_id: str, error: Mapping[str, Any]) -> dict:
+        With ``lease_id``/``generation`` the transition is fenced: it
+        only succeeds while that lease is still current, so a zombie
+        runner's late upload raises :class:`StaleLease` instead of
+        clobbering the re-leased job.
+        """
+        return self._finish(job_id, "done", result=result,
+                            lease_id=lease_id, generation=generation)
+
+    def fail(self, job_id: str, error: Mapping[str, Any],
+             lease_id: Optional[str] = None,
+             generation: Optional[int] = None) -> dict:
         """``running -> failed`` with a ``{type, message}`` envelope."""
         return self._finish(job_id, "failed",
                             error={"type": str(error.get("type", "Error")),
-                                   "message": str(error.get("message", ""))})
+                                   "message": str(error.get("message", ""))},
+                            lease_id=lease_id, generation=generation)
 
     def cancel(self, job_id: str) -> dict:
         """``queued -> cancelled``; running/terminal jobs refuse."""
@@ -319,25 +480,63 @@ class JobQueue:
     def recover(self) -> list[str]:
         """Re-queue every job left ``running`` by a dead daemon.
 
-        Called on daemon startup, before any worker runs.  The campaign
-        store still holds whatever grid points the interrupted job
+        Called on daemon startup, before any worker runs.  Jobs leased
+        to a *remote* runner whose lease is still live are left alone —
+        the runner survived the coordinator restart and will upload its
+        result under the same lease; the expiry sweep reclaims it if it
+        did not.  Everything else running (in-process workers that died
+        with the daemon, lapsed leases) is re-queued.  The campaign
+        store still holds whatever grid points an interrupted job
         completed, so the re-run resumes rather than restarts.  Returns
         the re-queued job ids.
         """
+        now = time.time()
         requeued = []
         with self._lock:
             for job in self.list(status="running"):
-                job["status"] = "queued"
-                job["worker"] = None
-                job["started_at"] = None
-                self._save(job)
-                self._queued.add(job["id"])
+                lease = job.get("lease")
+                if lease is not None and lease["expires_at"] > now:
+                    continue  # a live remote runner still owns this job
+                self._requeue_locked(job)
                 requeued.append(job["id"])
         return requeued
 
     def depth(self) -> int:
         """Queued-job count from the in-memory index (no disk scan)."""
         return len(self._queued)
+
+    def active_by_tenant(self) -> dict[str, int]:
+        """Queued+running job counts per tenant token (None excluded).
+
+        The per-tenant quota's denominator: terminal jobs stop counting
+        against their submitter the moment they finish.
+        """
+        counts: dict[str, int] = {}
+        with self._lock:
+            for job in self.list():
+                if job["status"] in TERMINAL_STATES:
+                    continue
+                tenant = job.get("tenant")
+                if tenant is not None:
+                    counts[tenant] = counts.get(tenant, 0) + 1
+        return counts
+
+    def live_leases(self, now: Optional[float] = None) -> list[dict]:
+        """One ``{job_id, runner, lease_id, expires_in}`` row per live
+        lease (the fleet section of ``GET /v1/stats``)."""
+        now = time.time() if now is None else now
+        rows = []
+        for job in self.list(status="running"):
+            lease = job.get("lease")
+            if lease is not None and lease["expires_at"] > now:
+                rows.append({
+                    "job_id": job["id"],
+                    "runner": lease["runner"],
+                    "lease_id": lease["id"],
+                    "generation": job.get("generation", 0),
+                    "expires_in": lease["expires_at"] - now,
+                })
+        return rows
 
     def prune(self, keep_last: int = 0) -> int:
         """Remove *terminal* job records, newest-first keeping ``keep_last``.
@@ -393,8 +592,43 @@ class JobQueue:
 
 def job_summary(job: dict) -> dict:
     """The listing row for one job record (no spec/sweep bodies)."""
-    return {key: job[key] for key in (
+    summary = {key: job[key] for key in (
         "id", "kind", "status", "priority", "seq", "name", "workload",
         "attempts", "submitted_at", "started_at", "finished_at", "worker",
         "error",
     )}
+    summary["tenant"] = job.get("tenant")
+    summary["generation"] = job.get("generation", 0)
+    lease = job.get("lease")
+    summary["lease"] = (None if lease is None
+                        else {"runner": lease["runner"],
+                              "expires_at": lease["expires_at"]})
+    return summary
+
+
+def active_store_keys(queue: JobQueue) -> frozenset[str]:
+    """Every campaign-store key a queued or running job will read/write.
+
+    ``store gc`` threads this through as its *protected* set so a
+    maintenance pass can never delete an entry a claimed job is about to
+    resume from (or a queued retry's failure envelope, whose attempt
+    counter would reset).  Sweep jobs protect every grid point's key.
+    Jobs whose spec no longer parses under the current registry are
+    skipped — their keys could not be recomputed by a worker either.
+    """
+    from repro.api.campaign import Campaign
+    from repro.api.spec import CampaignSpec
+    from repro.store import campaign_key
+
+    keys: set[str] = set()
+    for job in queue.list():
+        if job["status"] in TERMINAL_STATES:
+            continue
+        try:
+            spec = CampaignSpec.from_dict(job["spec"])
+            points: Iterable = (Campaign.sweep_specs(spec, job["sweep"])
+                                if job.get("sweep") else (spec,))
+            keys.update(campaign_key(point) for point in points)
+        except Exception:  # noqa: BLE001 — stale/foreign spec: skip
+            continue
+    return frozenset(keys)

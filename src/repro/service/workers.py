@@ -42,14 +42,21 @@ class WorkerCrash(RuntimeError):
     """A job's child process died without reporting a result."""
 
 
+class JobCancelled(RuntimeError):
+    """A job's child was killed because its claim was cancelled mid-run
+    (a fleet runner's lease lapsed underneath it)."""
+
+
 def execute_job(job_doc: dict, store_root: str) -> dict:
     """Run one job document against the store; return result bookkeeping.
 
     Runs inside the worker's child process.  The result document is
-    deliberately *meta only* — pass verdict, point count and the
-    hits/executed/retried resume split — because the payloads themselves
-    are persisted in the store under their content addresses; the HTTP
-    layer serves them from there (:meth:`CampaignService.job_document`).
+    deliberately *meta only* — pass verdict, point count, the
+    hits/executed/retried resume split and the store keys this
+    execution wrote — because the payloads themselves are persisted in
+    the store under their content addresses; the HTTP layer serves them
+    from there (:meth:`CampaignService.job_document`), and a fleet
+    runner uploads exactly the written entries to its coordinator.
     """
     store = CampaignStore(store_root)
     spec = CampaignSpec.from_dict(job_doc["spec"])
@@ -64,6 +71,10 @@ def execute_job(job_doc: dict, store_root: str) -> dict:
             "store_resume": {"hits": list(sweep.store_hits),
                              "executed": list(sweep.executed),
                              "retried": list(sweep.retried)},
+            # Parallel sweeps write through per-worker handles, so this
+            # only captures serial writes; the runner adds the job's
+            # campaign keys itself, making the upload complete anyway.
+            "store_keys": sorted(set(store.written_keys)),
         }
     entry = store.get_campaign(spec)
     if entry is not None and entry["status"] == "ok":
@@ -78,6 +89,7 @@ def execute_job(job_doc: dict, store_root: str) -> dict:
         "passed": bool(payload["passed"]),
         "points": 1,
         "store_resume": resume,
+        "store_keys": sorted(set(store.written_keys)),
     }
 
 
@@ -94,6 +106,82 @@ def _child_main(conn, job_doc: dict, store_root: str) -> None:
         return
     conn.send(("ok", result))
     conn.close()
+
+
+def spawn_job_child(job_doc: dict, store_root: str):
+    """Start one fresh fork child running ``job_doc``.
+
+    Returns ``(process, parent_conn)``; pair with :func:`wait_job_child`.
+    Shared by the in-daemon worker pool and the remote runner agent —
+    the crash-isolation machinery is identical on both sides of the
+    fleet.
+    """
+    ctx = fork_context()
+    parent_conn, child_conn = ctx.Pipe(duplex=False)
+    process = ctx.Process(target=_child_main,
+                          args=(child_conn, job_doc, store_root),
+                          daemon=True)
+    process.start()
+    child_conn.close()
+    return process, parent_conn
+
+
+def wait_job_child(process, conn, job: dict,
+                   job_timeout: Optional[float] = None,
+                   cancel: Optional[threading.Event] = None
+                   ) -> tuple[str, dict]:
+    """Await one job child; ``(verdict, document)`` back.
+
+    The pipe is the only channel — a child that exits without sending
+    (killed, segfaulted) surfaces as :class:`WorkerCrash`, and a child
+    still silent after ``job_timeout`` is killed and surfaces the same
+    way, so a hung campaign can never wedge its supervisor.  A set
+    ``cancel`` event (a runner whose lease lapsed) kills the child and
+    raises :class:`JobCancelled` — no point finishing work whose upload
+    would be fenced off anyway.
+    """
+    deadline = (time.monotonic() + job_timeout
+                if job_timeout is not None else None)
+    try:
+        # Poll in slices so the timeout (when set) and cancellation are
+        # enforced even though Connection.recv itself has no deadline.
+        while not conn.poll(
+                1.0 if deadline is None
+                else max(0.0, min(1.0, deadline - time.monotonic()))):
+            if cancel is not None and cancel.is_set():
+                process.kill()
+                reap_child(process)
+                raise JobCancelled(
+                    f"job {job['id'][:12]} ({job['name']!r}): cancelled "
+                    f"mid-run; child killed")
+            if deadline is not None and time.monotonic() >= deadline:
+                process.kill()
+                reap_child(process)
+                raise WorkerCrash(
+                    f"job {job['id'][:12]} ({job['name']!r}): killed "
+                    f"after exceeding the {job_timeout:.0f}s "
+                    f"job timeout")
+        verdict, payload = conn.recv()
+    except EOFError:
+        reap_child(process)
+        raise WorkerCrash(
+            f"job {job['id'][:12]} ({job['name']!r}): child process "
+            f"exited with code {process.exitcode} before reporting "
+            f"a result") from None
+    finally:
+        conn.close()
+    reap_child(process)
+    return verdict, payload
+
+
+def reap_child(process, grace: float = 10.0) -> None:
+    """Join with a bounded grace, then kill: a child that reported its
+    result but lingers (stray atexit hook, unjoined grandchild) must
+    not wedge its supervisor or a clean shutdown."""
+    process.join(grace)
+    if process.is_alive():  # pragma: no cover (pathological child)
+        process.kill()
+        process.join()
 
 
 class WorkerPool:
@@ -211,56 +299,13 @@ class WorkerPool:
         """One job in one fresh process; ``(verdict, document)`` back.
 
         Fork is preferred (workers inherit the parent's workload
-        registry, matching :meth:`Campaign.sweep`'s pool); the pipe is
-        the only channel — a child that exits without sending (killed,
-        segfaulted) surfaces as :class:`WorkerCrash`, and a child still
-        silent after :attr:`job_timeout` is killed and surfaces the
-        same way, so a hung campaign can never wedge a worker thread
-        (or a clean shutdown) forever.
+        registry, matching :meth:`Campaign.sweep`'s pool); see
+        :func:`spawn_job_child`/:func:`wait_job_child` for the
+        isolation contract.
         """
-        ctx = fork_context()
-        parent_conn, child_conn = ctx.Pipe(duplex=False)
-        process = ctx.Process(target=_child_main,
-                              args=(child_conn, job, self.store_root),
-                              daemon=True)
-        process.start()
-        child_conn.close()
-        deadline = (time.monotonic() + self.job_timeout
-                    if self.job_timeout is not None else None)
-        try:
-            # Poll in slices so the timeout (when set) is enforced even
-            # though Connection.recv itself has no deadline.
-            while not parent_conn.poll(
-                    1.0 if deadline is None
-                    else max(0.0, min(1.0, deadline - time.monotonic()))):
-                if deadline is not None and time.monotonic() >= deadline:
-                    process.kill()
-                    self._reap(process)
-                    raise WorkerCrash(
-                        f"job {job['id'][:12]} ({job['name']!r}): killed "
-                        f"after exceeding the {self.job_timeout:.0f}s "
-                        f"job timeout")
-            verdict, payload = parent_conn.recv()
-        except EOFError:
-            self._reap(process)
-            raise WorkerCrash(
-                f"job {job['id'][:12]} ({job['name']!r}): child process "
-                f"exited with code {process.exitcode} before reporting "
-                f"a result") from None
-        finally:
-            parent_conn.close()
-        self._reap(process)
-        return verdict, payload
-
-    @staticmethod
-    def _reap(process, grace: float = 10.0) -> None:
-        """Join with a bounded grace, then kill: a child that reported
-        its result but lingers (stray atexit hook, unjoined grandchild)
-        must not wedge the worker thread or a clean shutdown."""
-        process.join(grace)
-        if process.is_alive():  # pragma: no cover (pathological child)
-            process.kill()
-            process.join()
+        process, conn = spawn_job_child(job, self.store_root)
+        return wait_job_child(process, conn, job,
+                              job_timeout=self.job_timeout)
 
     def stats(self) -> dict:
         with self._counter_lock:

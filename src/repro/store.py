@@ -22,9 +22,22 @@ Durability contract:
   ``status="error"`` and the error's type/message, so a resumed sweep
   can retry exactly the failed points and never the completed ones.
 
+Layout scales in two steps.  Live writes land as one *loose* file per
+entry under a two-hex-digit shard directory (``entries/<kk>/<key>.json``
+— 256-way fan-out, so no directory ever holds the whole store), and
+:meth:`~CampaignStore.pack` folds the loose files into an append-only
+*pack* (``packs/<name>.pack``: the entry files' raw bytes concatenated,
+plus a ``<name>.idx.json`` offset/length index), so millions of entries
+don't mean millions of inodes.  Reads are transparent across all three
+generations — loose sharded, loose *flat* (the pre-shard layout, still
+readable and migrated by ``pack``), and packed — with loose always
+winning over packed so a retry written after packing shadows the stale
+copy.
+
 The maintenance surface (:meth:`~CampaignStore.ls`,
-:meth:`~CampaignStore.show`, :meth:`~CampaignStore.gc`) is exposed by
-the ``repro store`` CLI subcommand.
+:meth:`~CampaignStore.show`, :meth:`~CampaignStore.gc`,
+:meth:`~CampaignStore.pack`) is exposed by the ``repro store`` CLI
+subcommand.
 """
 
 from __future__ import annotations
@@ -46,6 +59,8 @@ STORE_SCHEMA = "repro.store/v1"
 STORE_VERSION = 1
 #: Schema tag of every entry envelope.
 ENTRY_SCHEMA = "repro.store_entry/v1"
+#: Schema tag of a pack's offset/length index document.
+PACK_SCHEMA = "repro.store_pack/v1"
 
 #: Age (seconds) past which an atomic-write temp file is considered
 #: orphaned by a crashed writer.  ``gc`` never touches younger temps:
@@ -198,12 +213,19 @@ class CampaignStore:
     def __init__(self, root, create: bool = True):
         self.root = Path(root)
         self.entries_dir = self.root / "entries"
+        self.packs_dir = self.root / "packs"
         #: cache-efficiency counters for this handle (not persisted)
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        #: keys written through this handle, in write order — the fleet
+        #: runner uploads exactly these (plus the job's campaign keys)
+        #: back to its coordinator after a job.
+        self.written_keys: list[str] = []
         #: corrupt entry files seen by reads (candidates for ``gc``)
         self.corrupt: list[str] = []
+        #: lazy key -> (pack_path, offset, length) index over ``packs/``
+        self._pack_index: Optional[dict[str, tuple[Path, int, int]]] = None
         manifest_path = self.root / "store.json"
         if create:
             self.entries_dir.mkdir(parents=True, exist_ok=True)
@@ -238,8 +260,70 @@ class CampaignStore:
     def _entry_path(self, key: str) -> Path:
         return self.entries_dir / key[:2] / f"{key}.json"
 
+    def _flat_path(self, key: str) -> Path:
+        """The pre-shard (flat) location of an entry, read-only legacy."""
+        return self.entries_dir / f"{key}.json"
+
+    def _loose_path(self, key: str) -> Optional[Path]:
+        """The entry's loose file if one exists (sharded wins over flat)."""
+        for path in (self._entry_path(key), self._flat_path(key)):
+            if path.is_file():
+                return path
+        return None
+
     _write_json = staticmethod(write_json_atomic)
     _read_json = staticmethod(read_json_document)
+
+    # -- pack plumbing ------------------------------------------------------------
+
+    def _index_paths(self) -> list[Path]:
+        if not self.packs_dir.is_dir():
+            return []
+        return sorted(self.packs_dir.glob("*.idx.json"))
+
+    def _packs(self) -> dict[str, tuple[Path, int, int]]:
+        """The merged key -> (pack file, offset, length) index, lazily
+        loaded once per handle; later packs shadow earlier ones.
+        Unreadable or mismatched index files are skipped — the worst a
+        corrupt index costs is cache misses, never an exception."""
+        if self._pack_index is not None:
+            return self._pack_index
+        index: dict[str, tuple[Path, int, int]] = {}
+        for idx_path in self._index_paths():
+            document = self._read_json(idx_path)
+            if (document is None or document.get("schema") != PACK_SCHEMA
+                    or not isinstance(document.get("entries"), dict)):
+                self.corrupt.append(str(idx_path))
+                continue
+            pack_path = self.packs_dir / document.get("pack", "")
+            if not pack_path.is_file():
+                self.corrupt.append(str(idx_path))
+                continue
+            for key, span in document["entries"].items():
+                try:
+                    offset, length = int(span[0]), int(span[1])
+                except (TypeError, ValueError, IndexError):
+                    continue
+                index[key] = (pack_path, offset, length)
+        self._pack_index = index
+        return index
+
+    def _read_packed(self, key: str) -> Optional[dict]:
+        """The parsed envelope for a packed key, or None (not packed or
+        unreadable bytes — the latter is remembered as corrupt)."""
+        span = self._packs().get(key)
+        if span is None:
+            return None
+        pack_path, offset, length = span
+        try:
+            with open(pack_path, "rb") as stream:
+                stream.seek(offset)
+                raw = stream.read(length)
+            document = json.loads(raw.decode("utf-8"))
+        except (OSError, ValueError, UnicodeDecodeError):
+            self.corrupt.append(f"{pack_path}@{offset}+{length}")
+            return None
+        return document if isinstance(document, dict) else None
 
     # -- keys ---------------------------------------------------------------------
 
@@ -266,17 +350,31 @@ class CampaignStore:
 
     # -- reads --------------------------------------------------------------------
 
+    @staticmethod
+    def _valid_envelope(envelope: Optional[dict], key: str) -> bool:
+        return (envelope is not None
+                and envelope.get("schema") == ENTRY_SCHEMA
+                and envelope.get("key") == key
+                and envelope.get("status") in ("ok", "error"))
+
     def get(self, key: str) -> Optional[dict]:
-        """The entry envelope for ``key``, or None (miss *or* corrupt)."""
-        path = self._entry_path(key)
-        if not path.exists():
-            self.misses += 1
-            return None
+        """The entry envelope for ``key``, or None (miss *or* corrupt).
+
+        Looks through the layout's generations in precedence order:
+        loose sharded, loose flat (pre-shard stores), then packed — so
+        an entry re-written after packing (a retried failure) shadows
+        its stale packed copy.
+        """
+        path = self._loose_path(key)
+        if path is None:
+            envelope = self._read_packed(key)
+            if not self._valid_envelope(envelope, key):
+                self.misses += 1
+                return None
+            self.hits += 1
+            return envelope
         envelope = self._read_json(path)
-        if (envelope is None
-                or envelope.get("schema") != ENTRY_SCHEMA
-                or envelope.get("key") != key
-                or envelope.get("status") not in ("ok", "error")):
+        if not self._valid_envelope(envelope, key):
             # Truncated write, bad disk, or a foreign file: a miss, not
             # an error.  Remember it so gc can reclaim the file.
             self.corrupt.append(str(path))
@@ -301,11 +399,34 @@ class CampaignStore:
     def _put(self, key: str, envelope: dict) -> str:
         self._write_json(self._entry_path(key), envelope)
         self.writes += 1
+        self.written_keys.append(key)
         return key
 
+    def adopt(self, key: str, envelope: dict) -> bool:
+        """Merge one foreign entry envelope under its content address.
+
+        The fleet upload path: a coordinator adopting entries computed
+        by a remote runner.  Content addressing makes the merge
+        idempotent — an entry we already hold (loose or packed) is left
+        alone and the call returns False; a ``status == "error"`` entry
+        never shadows an existing one (a local ``ok`` must win).  The
+        envelope must be internally consistent (schema, key, status)
+        or ValueError is raised: never trust wire bytes into the store.
+        """
+        if not self._valid_envelope(envelope, key):
+            raise ValueError(
+                f"refusing to adopt malformed envelope for {key[:12]}")
+        existing = self.get(key)
+        if existing is not None and (existing["status"] == "ok"
+                                     or envelope["status"] == "error"):
+            return False
+        self._put(key, envelope)
+        return True
+
     def _attempts_before(self, key: str) -> int:
-        path = self._entry_path(key)
-        previous = self._read_json(path) if path.exists() else None
+        path = self._loose_path(key)
+        previous = (self._read_json(path) if path is not None
+                    else self._read_packed(key))
         if previous is None:
             return 0
         return int(previous.get("attempts", 0) or 0)
@@ -362,32 +483,59 @@ class CampaignStore:
         })
 
     def delete(self, key: str) -> bool:
-        """Remove one entry; returns whether it existed."""
-        path = self._entry_path(key)
-        try:
-            os.unlink(path)
-        except FileNotFoundError:
-            return False
-        return True
+        """Remove one entry; returns whether it existed.
+
+        A packed entry is dropped from its index (its dead bytes stay
+        in the pack file until a future repack); loose copies — sharded
+        and flat alike — are unlinked.
+        """
+        existed = False
+        for path in (self._entry_path(key), self._flat_path(key)):
+            try:
+                os.unlink(path)
+                existed = True
+            except FileNotFoundError:
+                pass
+        if key in self._packs():
+            self._drop_packed(key)
+            existed = True
+        return existed
+
+    def _drop_packed(self, key: str) -> None:
+        """Rewrite every pack index that lists ``key`` without it."""
+        for idx_path in self._index_paths():
+            document = self._read_json(idx_path)
+            if (document is None or document.get("schema") != PACK_SCHEMA
+                    or key not in (document.get("entries") or {})):
+                continue
+            del document["entries"][key]
+            self._write_json(idx_path, document)
+        self._pack_index = None  # reload lazily
 
     # -- maintenance --------------------------------------------------------------
 
     def _entry_files(self) -> list[Path]:
+        """Every *loose* entry file — sharded and legacy flat alike."""
         if not self.entries_dir.is_dir():
             return []
-        return sorted(self.entries_dir.glob("*/*.json"))
+        return sorted(list(self.entries_dir.glob("*/*.json"))
+                      + list(self.entries_dir.glob("*.json")))
 
     def keys(self) -> list[str]:
-        """Every readable entry key, sorted."""
-        out = []
-        for path in self._entry_files():
-            if not path.name.startswith("."):
-                out.append(path.stem)
-        return out
+        """Every entry key — loose and packed — sorted."""
+        out = {path.stem for path in self._entry_files()
+               if not path.name.startswith(".")}
+        out.update(self._packs())
+        return sorted(out)
 
     def ls(self) -> list[dict]:
-        """One summary row per readable entry (corrupt files skipped)."""
+        """One summary row per readable entry (corrupt files skipped).
+
+        Covers loose and packed entries; a key present in both is
+        listed once, from its loose (authoritative) copy.
+        """
         rows = []
+        seen: set[str] = set()
         for path in self._entry_files():
             if path.name.startswith("."):
                 continue
@@ -395,21 +543,34 @@ class CampaignStore:
             if (envelope is None or envelope.get("schema") != ENTRY_SCHEMA
                     or envelope.get("key") != path.stem):
                 continue
-            spec = envelope.get("spec") or {}
-            identity = envelope.get("identity") or {}
-            rows.append({
-                "key": envelope["key"],
-                "kind": envelope.get("kind", "?"),
-                "status": envelope.get("status", "?"),
-                "name": spec.get("name") or identity.get("stage") or "",
-                "workload": (spec.get("workload")
-                             or identity.get("workload") or ""),
-                "attempts": envelope.get("attempts", 1),
-                "created_at": envelope.get("created_at"),
-                "bytes": path.stat().st_size,
-            })
+            seen.add(path.stem)
+            rows.append(self._ls_row(envelope, path.stat().st_size))
+        for key, (_pack, _offset, length) in sorted(self._packs().items()):
+            if key in seen:
+                continue
+            envelope = self._read_packed(key)
+            if not self._valid_envelope(envelope, key):
+                continue
+            rows.append(self._ls_row(envelope, length, packed=True))
         rows.sort(key=lambda row: (row["kind"], row["name"], row["key"]))
         return rows
+
+    @staticmethod
+    def _ls_row(envelope: dict, size: int, packed: bool = False) -> dict:
+        spec = envelope.get("spec") or {}
+        identity = envelope.get("identity") or {}
+        return {
+            "key": envelope["key"],
+            "kind": envelope.get("kind", "?"),
+            "status": envelope.get("status", "?"),
+            "name": spec.get("name") or identity.get("stage") or "",
+            "workload": (spec.get("workload")
+                         or identity.get("workload") or ""),
+            "attempts": envelope.get("attempts", 1),
+            "created_at": envelope.get("created_at"),
+            "bytes": size,
+            "packed": packed,
+        }
 
     def show(self, key_or_prefix: str) -> dict:
         """The full envelope for a key (unique prefixes accepted)."""
@@ -420,7 +581,8 @@ class CampaignStore:
                            f"run gc to reclaim it")
         return envelope
 
-    def gc(self, failed: bool = False, dry_run: bool = False) -> dict:
+    def gc(self, failed: bool = False, dry_run: bool = False,
+           protect: frozenset = frozenset()) -> dict:
         """Reclaim temp litter and corrupt entries; optionally failures.
 
         Always removes *stale* atomic-write temp files (older than
@@ -428,16 +590,25 @@ class CampaignStore:
         concurrent writer mid-rename) and entry files that do not parse
         as valid envelopes; with ``failed=True`` also removes
         ``status="error"`` entries (forcing a resumed sweep to retry
-        those points even if their retry budget concerned you).
-        ``dry_run=True`` computes the same counts (and returns the
-        would-be victims under ``"candidates"``) but deletes nothing.
-        Returns removal/kept counts.
+        those points even if their retry budget concerned you) — both
+        loose and packed (packed victims are dropped from their pack's
+        index).  ``protect`` is a set of keys gc must never delete —
+        the CLI threads the keys of every queued/running service job
+        through it (:func:`repro.service.queue.active_store_keys`), so
+        a maintenance pass can't yank an entry out from under a job;
+        protected would-be victims are counted and, like everything
+        else, listed by ``dry_run``.  ``dry_run=True`` computes the
+        same counts (returning would-be victims under ``"candidates"``
+        and protected survivors under ``"protected_keys"``) but deletes
+        nothing.  Returns removal/kept counts.
         """
         stats: dict = {"removed_tmp": 0, "removed_corrupt": 0,
-                       "removed_failed": 0, "kept": 0,
+                       "removed_failed": 0, "kept": 0, "protected": 0,
                        "dry_run": dry_run}
         candidates: list[str] = []
+        protected_keys: list[str] = []
         stats["candidates"] = candidates
+        stats["protected_keys"] = protected_keys
 
         def reclaim(path: Path, counter: str) -> None:
             if dry_run:
@@ -445,6 +616,11 @@ class CampaignStore:
             else:
                 path.unlink(missing_ok=True)
             stats[counter] += 1
+
+        def spare(key: str) -> None:
+            protected_keys.append(key)
+            stats["protected"] += 1
+            stats["kept"] += 1
 
         if not self.entries_dir.is_dir():
             return stats
@@ -459,18 +635,119 @@ class CampaignStore:
             except OSError:
                 continue  # raced with its writer's os.replace: in use
             reclaim(path, "removed_tmp")
+        loose_keys: set[str] = set()
         for path in self._entry_files():
             envelope = self._read_json(path)
             if (envelope is None or envelope.get("schema") != ENTRY_SCHEMA
                     or envelope.get("key") != path.stem
                     or envelope.get("status") not in ("ok", "error")):
                 reclaim(path, "removed_corrupt")
+                continue
+            loose_keys.add(path.stem)
+            if failed and envelope["status"] == "error":
+                if path.stem in protect:
+                    spare(path.stem)
+                else:
+                    reclaim(path, "removed_failed")
+            else:
+                stats["kept"] += 1
+        for key in sorted(set(self._packs()) - loose_keys):
+            envelope = self._read_packed(key)
+            if not self._valid_envelope(envelope, key):
+                # Unreadable packed bytes: drop the dead index row.
+                if dry_run:
+                    candidates.append(f"packed:{key}")
+                else:
+                    self._drop_packed(key)
+                stats["removed_corrupt"] += 1
             elif failed and envelope["status"] == "error":
-                reclaim(path, "removed_failed")
+                if key in protect:
+                    spare(key)
+                elif dry_run:
+                    candidates.append(f"packed:{key}")
+                    stats["removed_failed"] += 1
+                else:
+                    self._drop_packed(key)
+                    stats["removed_failed"] += 1
             else:
                 stats["kept"] += 1
         if not dry_run:
             self.corrupt = []
+        return stats
+
+    def pack(self, dry_run: bool = False) -> dict:
+        """Fold every loose entry into one new pack; returns stats.
+
+        The pack is two files under ``packs/``: ``<name>.pack`` — the
+        loose entry files' raw bytes, concatenated, so packed reads are
+        byte-identical to the loose reads they replace — and
+        ``<name>.idx.json`` mapping each key to its ``[offset, length]``
+        span.  Both are written (and fsync'd) *before* any loose file
+        is unlinked, so a crash mid-pack leaves the store readable at
+        every step — at worst a key exists both loose and packed, and
+        loose wins.  Legacy *flat* entries (pre-shard layout) are
+        migrated into the pack the same way, which is the upgrade path
+        for old stores.  Corrupt loose files are left for ``gc``.
+        ``dry_run`` reports what would be packed without writing.
+        """
+        victims: list[tuple[str, Path, bytes]] = []
+        dupes: list[Path] = []
+        seen: set[str] = set()
+        for path in self._entry_files():
+            if path.name.startswith("."):
+                continue
+            envelope = self._read_json(path)
+            if not self._valid_envelope(envelope, path.stem):
+                continue
+            if path.stem in seen:
+                # A flat twin of an already-collected sharded entry.
+                # The sharded copy wins (the read path's precedence);
+                # the loser must be unlinked with the victims below or
+                # it would shadow the pack as a stale loose read.
+                dupes.append(path)
+                continue
+            seen.add(path.stem)
+            victims.append((path.stem, path, path.read_bytes()))
+        stats = {"packed": len(victims),
+                 "bytes": sum(len(raw) for _, _, raw in victims),
+                 "packs": len(self._index_paths()),
+                 "dry_run": dry_run, "pack": None}
+        if dry_run and victims:
+            # Predict the post-pack count, matching what a real run
+            # reports, instead of the untouched pre-existing count.
+            stats["packs"] += 1
+        if dry_run or not victims:
+            return stats
+        victims.sort(key=lambda item: item[0])
+        name = hashlib.sha256(
+            "".join(key for key, _, _ in victims).encode("ascii")
+        ).hexdigest()[:16]
+        entries: dict[str, list[int]] = {}
+        offset = 0
+        pack_path = self.packs_dir / f"{name}.pack"
+        tmp = self.packs_dir / f".{name}.pack.tmp.{os.getpid()}"
+        self.packs_dir.mkdir(parents=True, exist_ok=True)
+        with open(tmp, "wb") as stream:
+            for key, _path, raw in victims:
+                stream.write(raw)
+                entries[key] = [offset, len(raw)]
+                offset += len(raw)
+            stream.flush()
+            os.fsync(stream.fileno())
+        os.replace(tmp, pack_path)
+        self._write_json(self.packs_dir / f"{name}.idx.json", {
+            "schema": PACK_SCHEMA,
+            "version": STORE_VERSION,
+            "pack": pack_path.name,
+            "entries": entries,
+        })
+        self._pack_index = None  # pick the new pack up on next read
+        for _key, path, _raw in victims:
+            path.unlink(missing_ok=True)
+        for path in dupes:
+            path.unlink(missing_ok=True)
+        stats["pack"] = pack_path.name
+        stats["packs"] = len(self._index_paths())
         return stats
 
     def describe(self, rows: Optional[list[dict]] = None) -> str:

@@ -270,8 +270,9 @@ class TestMaintenance:
         bad.write_text("garbage")
         stats = store.gc()
         assert stats == {"removed_tmp": 2, "removed_corrupt": 1,
-                         "removed_failed": 0, "kept": 1,
-                         "dry_run": False, "candidates": []}
+                         "removed_failed": 0, "kept": 1, "protected": 0,
+                         "dry_run": False, "candidates": [],
+                         "protected_keys": []}
         assert not litter.exists() and not bad.exists()
         assert not manifest_tmp.exists()
         assert live.exists()  # young temps are never touched

@@ -1,0 +1,149 @@
+"""The packed store layout: pack/index round-trips, precedence, migration.
+
+The contract under test: ``store pack`` may change *where* entries live
+but never *what* they say — every envelope reads back byte-identical
+through ``get()``, loose rewrites shadow their packed copies, and a
+pre-shard (flat) store migrates without any key changing.
+"""
+
+import json
+
+import pytest
+
+from repro.api import CampaignSpec
+from repro.store import CampaignStore, PACK_SCHEMA, campaign_key
+
+SPEC = CampaignSpec(name="pack-unit", identities=2, poses=1, size=32,
+                    frames=1, levels=(1,))
+
+PAYLOAD = {"schema": "repro.campaign_outcome/v1", "passed": True,
+           "wall_seconds": 1.25, "stages": {}}
+
+
+@pytest.fixture
+def store(tmp_path):
+    return CampaignStore(tmp_path / "store")
+
+
+def fill(store, count=4):
+    """``count`` distinct campaign entries; returns their keys."""
+    keys = []
+    for frames in range(1, count + 1):
+        keys.append(store.put_campaign(SPEC.replace(frames=frames),
+                                       PAYLOAD))
+    return keys
+
+
+class TestPackRoundTrip:
+    def test_packed_entries_read_back_byte_identical(self, store):
+        keys = fill(store)
+        before = {key: store.get(key) for key in keys}
+        report = store.pack()
+        assert report["packed"] == len(keys) and report["packs"] == 1
+        # The loose files are gone; every read now comes from the pack.
+        assert not list(store.entries_dir.glob("*/*.json"))
+        fresh = CampaignStore(store.root)
+        for key in keys:
+            assert fresh.get(key) == before[key]
+        assert sorted(fresh.keys()) == sorted(keys)
+
+    def test_pack_name_is_content_derived_and_index_is_valid(self, store):
+        keys = fill(store)
+        report = store.pack()
+        index_path = next(store.packs_dir.glob("*.idx.json"))
+        index = json.loads(index_path.read_text())
+        assert index["schema"] == PACK_SCHEMA
+        assert sorted(index["entries"]) == sorted(keys)
+        # Offsets/lengths slice the pack file exactly.
+        raw = (store.packs_dir / index["pack"]).read_bytes()
+        for key, (offset, length) in index["entries"].items():
+            envelope = json.loads(raw[offset:offset + length])
+            assert envelope["key"] == key
+        assert report["pack"] == index["pack"]
+
+    def test_pack_is_idempotent_and_dry_run_writes_nothing(self, store):
+        fill(store)
+        dry = store.pack(dry_run=True)
+        assert dry["packed"] == 4 and not list(store.packs_dir.glob("*"))
+        store.pack()
+        again = store.pack()  # nothing loose left to pack
+        assert again["packed"] == 0
+
+    def test_loose_rewrite_shadows_packed_copy(self, store):
+        (key,) = fill(store, count=1)
+        store.pack()
+        spec = SPEC.replace(frames=1)
+        store.put_campaign(spec, dict(PAYLOAD, wall_seconds=9.0))
+        assert store.get(key)["payload"]["wall_seconds"] == 9.0
+        # A later pack folds the rewrite in, and the new copy wins.
+        store.pack()
+        fresh = CampaignStore(store.root)
+        assert fresh.get(key)["payload"]["wall_seconds"] == 9.0
+        assert len(fresh.keys()) == 1
+
+    def test_delete_drops_packed_entry_from_its_index(self, store):
+        keys = fill(store)
+        store.pack()
+        assert store.delete(keys[0])
+        fresh = CampaignStore(store.root)
+        assert fresh.get(keys[0]) is None
+        assert sorted(fresh.keys()) == sorted(keys[1:])
+
+    def test_ls_reports_packed_entries(self, store):
+        fill(store, count=2)
+        store.pack()
+        rows = store.ls()
+        assert len(rows) == 2 and all(row["packed"] for row in rows)
+
+
+class TestFlatMigration:
+    def test_flat_legacy_entries_read_and_pack(self, store):
+        """A pre-shard store (``entries/<key>.json``) keeps working and
+        migrates into packs with every key unchanged."""
+        key = campaign_key(SPEC)
+        flat = store.entries_dir / f"{key}.json"
+        envelope = {"schema": "repro.store_entry/v1", "key": key,
+                    "kind": "campaign", "status": "ok",
+                    "spec": SPEC.to_dict(), "identity": {},
+                    "attempts": 1, "created_at": "2026-01-01T00:00:00Z",
+                    "payload": PAYLOAD}
+        flat.write_text(json.dumps(envelope))
+        assert store.get(key) == envelope
+        assert key in store.keys()
+        report = store.pack()
+        assert report["packed"] == 1
+        assert not flat.exists()
+        assert CampaignStore(store.root).get(key) == envelope
+
+    def test_sharded_copy_wins_over_flat_duplicate(self, store):
+        key = store.put_campaign(SPEC, PAYLOAD)
+        stale = dict(store.get(key))
+        stale["payload"] = dict(PAYLOAD, wall_seconds=777.0)
+        (store.entries_dir / f"{key}.json").write_text(json.dumps(stale))
+        assert store.get(key)["payload"]["wall_seconds"] == 1.25
+        store.pack()
+        fresh = CampaignStore(store.root)
+        assert fresh.get(key)["payload"]["wall_seconds"] == 1.25
+        assert len(fresh.keys()) == 1
+
+
+class TestAdopt:
+    def test_adopt_is_idempotent_and_validates(self, store):
+        key = store.put_campaign(SPEC, PAYLOAD)
+        envelope = store.get(key)
+        assert store.adopt(key, envelope) is False  # already held
+        store.delete(key)
+        assert store.adopt(key, envelope) is True
+        assert store.get(key) == envelope
+        with pytest.raises(ValueError):
+            store.adopt(key, {"schema": "bogus"})
+        with pytest.raises(ValueError):
+            store.adopt("0" * 64, envelope)  # key/envelope mismatch
+
+    def test_adopted_error_never_shadows_an_ok_entry(self, store):
+        key = store.put_campaign(SPEC, PAYLOAD)
+        failure = dict(store.get(key), status="error",
+                       error={"type": "X", "message": "boom"})
+        failure.pop("payload")
+        assert store.adopt(key, failure) is False
+        assert store.get(key)["status"] == "ok"

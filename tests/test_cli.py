@@ -498,9 +498,10 @@ class TestServiceCommands:
         assert "FAILED" in out and "MISSING-CPU" in out
 
     def test_start_with_bad_workers_is_a_clean_error(self, tmp_path):
+        # 0 is valid (coordinator-only fleet mode); negatives are not.
         with pytest.raises(SystemExit, match="workers"):
             main(["service", "start", "--root", str(tmp_path / "svc"),
-                  "--workers", "0"])
+                  "--workers", "-1"])
 
     def test_unreachable_service_is_a_clean_error(self, tmp_path):
         spec_file = self._write(tmp_path, self.SPEC)
