@@ -32,7 +32,7 @@ from repro.swir.ast import (
 )
 from repro.swir.engine import DEFAULT_ENGINE, create_engine
 from repro.verify.cnf import BitVector, Cnf
-from repro.verify.sat import SatResult
+from repro.verify.sat import SatResult, SatSolver
 
 
 class SatTpgError(RuntimeError):
@@ -222,7 +222,10 @@ class SatTpg:
     # -- CNF encoding -------------------------------------------------------------------
 
     def _solve(self, path_condition: list[tuple[Expr, bool]]) -> Optional[list[int]]:
-        cnf = Cnf()
+        # Attached mode: clauses stream straight into the solver as the
+        # path condition is encoded, instead of being buffered and
+        # re-added at solve time.
+        cnf = Cnf(solver=SatSolver(max_conflicts=self.max_conflicts))
         param_vecs = {
             p: BitVector.fresh(cnf, self.width) for p in self.params
         }

@@ -6,11 +6,21 @@ checking over the RTL netlist) reduce to propositional satisfiability.
 :class:`BitVector` layers two's-complement word operations (add, sub,
 comparisons, shifts by constants, bitwise logic, mux) on top via
 bit-blasting with ripple-carry adders.
+
+A :class:`Cnf` can run in two modes.  Standalone (the default), it just
+collects clauses and :meth:`solve` builds a fresh solver per call.
+Attached -- ``Cnf(solver=SatSolver())`` -- every clause streams into the
+incremental solver the moment it is emitted, so repeated solves never
+re-add the clause database and learned clauses carry over between
+queries; :meth:`guard` scopes emitted clauses under an activation
+literal so a clause group can be enabled per-query (assume the literal)
+or retired permanently (assert its negation).
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from contextlib import contextmanager
+from typing import Iterable, Iterator, Optional, Sequence
 
 from repro.verify.sat import SatResult, SatSolver
 
@@ -18,9 +28,17 @@ from repro.verify.sat import SatResult, SatSolver
 class Cnf:
     """A growing CNF with fresh-variable allocation and gate encoders."""
 
-    def __init__(self) -> None:
+    def __init__(self, solver: Optional[SatSolver] = None,
+                 fold: bool = False) -> None:
         self.clauses: list[list[int]] = []
-        self._next_var = 0
+        self.solver = solver
+        #: fold gates over constant/equal/opposite inputs instead of
+        #: emitting Tseitin clauses.  Off by default: folding changes
+        #: the emitted CNF, and the one-shot reference paths are pinned
+        #: clause-for-clause by the differential suite.
+        self.fold = fold
+        self._guard_lit: Optional[int] = None
+        self._next_var = solver.num_vars if solver is not None else 0
         #: literal constants: true_lit is a var constrained to 1
         self.true_lit = self.new_var()
         self.add_clause([self.true_lit])
@@ -31,6 +49,8 @@ class Cnf:
 
     def new_var(self) -> int:
         self._next_var += 1
+        if self.solver is not None and self.solver.num_vars < self._next_var:
+            self.solver.num_vars = self._next_var
         return self._next_var
 
     @property
@@ -38,7 +58,27 @@ class Cnf:
         return self._next_var
 
     def add_clause(self, literals: Iterable[int]) -> None:
-        self.clauses.append(list(literals))
+        guard = self._guard_lit
+        clause = list(literals) if guard is None else [-guard, *literals]
+        self.clauses.append(clause)
+        if self.solver is not None:
+            self.solver.add_clause(clause)
+
+    @contextmanager
+    def guard(self, activation: int) -> Iterator[int]:
+        """Emit clauses guarded by ``activation`` while the context is open.
+
+        Guarded clauses only constrain a solve that assumes
+        ``activation``; adding the permanent unit ``[-activation]``
+        afterwards retires the whole group.  Guards do not nest.
+        """
+        if self._guard_lit is not None:
+            raise ValueError("guard() does not nest")
+        self._guard_lit = activation
+        try:
+            yield activation
+        finally:
+            self._guard_lit = None
 
     def const(self, value: bool) -> int:
         return self.true_lit if value else self.false_lit
@@ -49,6 +89,16 @@ class Cnf:
         return -a
 
     def gate_and(self, a: int, b: int) -> int:
+        if self.fold:
+            true, false = self.true_lit, -self.true_lit
+            if a == true:
+                return b
+            if b == true:
+                return a
+            if a == false or b == false or a == -b:
+                return false
+            if a == b:
+                return a
         out = self.new_var()
         self.add_clause([-out, a])
         self.add_clause([-out, b])
@@ -59,6 +109,20 @@ class Cnf:
         return -self.gate_and(-a, -b)
 
     def gate_xor(self, a: int, b: int) -> int:
+        if self.fold:
+            true, false = self.true_lit, -self.true_lit
+            if a == true:
+                return -b
+            if a == false:
+                return b
+            if b == true:
+                return -a
+            if b == false:
+                return a
+            if a == b:
+                return false
+            if a == -b:
+                return true
         out = self.new_var()
         self.add_clause([-out, a, b])
         self.add_clause([-out, -a, -b])
@@ -68,6 +132,26 @@ class Cnf:
 
     def gate_ite(self, sel: int, then_lit: int, else_lit: int) -> int:
         """out = sel ? then : else."""
+        if self.fold:
+            true, false = self.true_lit, -self.true_lit
+            if sel == true:
+                return then_lit
+            if sel == false:
+                return else_lit
+            if then_lit == else_lit:
+                return then_lit
+            if then_lit == true and else_lit == false:
+                return sel
+            if then_lit == false and else_lit == true:
+                return -sel
+            if then_lit == true:
+                return self.gate_or(sel, else_lit)
+            if then_lit == false:
+                return self.gate_and(-sel, else_lit)
+            if else_lit == true:
+                return self.gate_or(-sel, then_lit)
+            if else_lit == false:
+                return self.gate_and(sel, then_lit)
         out = self.new_var()
         self.add_clause([-out, -sel, then_lit])
         self.add_clause([-out, sel, else_lit])
@@ -102,11 +186,16 @@ class Cnf:
 
     def solve(self, assumptions: Iterable[int] = (),
               max_conflicts: int = 2_000_000) -> tuple[SatResult, dict[int, bool]]:
-        solver = SatSolver(max_conflicts=max_conflicts)
-        for clause in self.clauses:
-            solver.add_clause(clause)
-        solver.num_vars = max(solver.num_vars, self._next_var)
-        result = solver.solve(assumptions)
+        if self.solver is not None:
+            solver = self.solver
+            solver.num_vars = max(solver.num_vars, self._next_var)
+            result = solver.solve(assumptions, max_conflicts=max_conflicts)
+        else:
+            solver = SatSolver(max_conflicts=max_conflicts)
+            for clause in self.clauses:
+                solver.add_clause(clause)
+            solver.num_vars = max(solver.num_vars, self._next_var)
+            result = solver.solve(assumptions)
         model = solver.model() if result is SatResult.SAT else {}
         return result, model
 

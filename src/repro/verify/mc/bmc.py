@@ -10,6 +10,15 @@ counter-example trace (register/input values per step); UNSAT up to
 Invariants are conjunctions of atomic predicates ``signal <op> const``
 over netlist signals — the property shape the paper's level-4 interface
 checks use (``AG (handshake consistent)``).
+
+The checker is incremental by default: one attached CNF/solver pair is
+kept per :class:`BoundedModelChecker`, time frames are encoded once and
+extended as deeper bounds are requested, per-frame violation literals
+are cached per property, and each query solves under an assumption
+selecting that property/bound — so learned clauses carry over across
+properties, bounds, and (via :meth:`add_mutant`) mutated designs.
+``incremental=False`` restores the one-shot encode-and-solve path,
+which the differential test-suite pins against the incremental one.
 """
 
 from __future__ import annotations
@@ -27,7 +36,20 @@ from repro.rtl.netlist import (
     UnExpr,
 )
 from repro.verify.cnf import BitVector, Cnf
-from repro.verify.sat import SatResult
+from repro.verify.sat import SatResult, SatSolver
+
+Atom = tuple[str, str, int]
+Clauses = list[list[Atom]]
+
+
+def property_text(clauses: Clauses) -> str:
+    """Canonical display form of a CNF-over-atoms invariant."""
+    return " && ".join(
+        "(" + " || ".join(f"{n} {op} {v}" for n, op, v in clause) + ")"
+        if len(clause) > 1 else
+        " || ".join(f"{n} {op} {v}" for n, op, v in clause)
+        for clause in clauses
+    )
 
 
 @dataclass
@@ -70,13 +92,40 @@ class BmcResult:
 _OPS = ("==", "!=", "<", "<=", ">", ">=")
 
 
+@dataclass
+class _MutantCone:
+    """Incremental state for one mutated design sharing the baseline CNF."""
+
+    act: int                       # activation literal guarding the cone
+    driver: str                    # mutated wire or register name
+    expr: Expr                     # rewritten driver expression
+    #: per-frame env overlay (baseline env + cone signals re-encoded)
+    envs: list[dict[str, BitVector]] = field(default_factory=list)
+    #: per-frame set of signals whose value differs from the baseline
+    changed: list[set[str]] = field(default_factory=list)
+    #: register overlay feeding the next frame to encode
+    frontier: dict[str, BitVector] = field(default_factory=dict)
+    #: (property key, frame) -> violation literal
+    viol: dict = field(default_factory=dict)
+    #: (property key, bound) -> query literal
+    query: dict = field(default_factory=dict)
+
+
 class BoundedModelChecker:
     """BMC engine for one netlist."""
 
-    def __init__(self, netlist: Netlist):
+    def __init__(self, netlist: Netlist, incremental: bool = True):
         netlist.validate()
         self.netlist = netlist
         self.word = netlist.word_width
+        self.incremental = incremental
+        # Incremental session state (lazily built on the first query):
+        self._cnf: Optional[Cnf] = None
+        self._frames: list[dict[str, BitVector]] = []
+        self._frontier: dict[str, BitVector] = {}
+        self._viol: dict = {}      # (property key, frame) -> violation literal
+        self._query: dict = {}     # (property key, bound) -> query literal
+        self._mutants: dict[int, _MutantCone] = {}
 
     # -- expression bit-blasting ---------------------------------------------------
 
@@ -178,11 +227,47 @@ class BoundedModelChecker:
         bits = vec.bits[:width] + [cnf.false_lit] * (self.word - width)
         return BitVector(cnf, bits)
 
+    def _reset_regs(self, cnf: Cnf) -> dict[str, BitVector]:
+        return {
+            reg.name: BitVector.constant(cnf, reg.reset, self.word)
+            for reg in self.netlist.registers.values()
+        }
+
+    # -- incremental session ----------------------------------------------------------
+
+    def _extend(self, bound: int) -> None:
+        """Encode time frames up to ``bound`` (once; later calls extend)."""
+        if self._cnf is None:
+            self._cnf = Cnf(solver=SatSolver(), fold=True)
+            self._frontier = self._reset_regs(self._cnf)
+        while len(self._frames) <= bound:
+            env, nxt = self._frame(self._cnf, self._frontier)
+            self._frames.append(env)
+            self._frontier = nxt
+
+    def _viol_lit(self, key, clauses: Clauses, frame: int) -> int:
+        lit = self._viol.get((key, frame))
+        if lit is None:
+            lit = self._violation_lit_clauses(clauses, self._frames[frame],
+                                              self._cnf)
+            self._viol[(key, frame)] = lit
+        return lit
+
+    @staticmethod
+    def _validate_clauses(clauses: Clauses, netlist: Netlist) -> None:
+        for clause in clauses:
+            if not clause:
+                raise ValueError("empty clause is unsatisfiable")
+            for name, op, __ in clause:
+                if op not in _OPS:
+                    raise ValueError(f"bad operator {op!r}")
+                netlist.width_of(name)  # raises on unknown signal
+
     # -- checking ----------------------------------------------------------------------------
 
     def check_invariant(
         self,
-        atoms: list[tuple[str, str, int]],
+        atoms: list[Atom],
         bound: int,
         max_conflicts: int = 2_000_000,
     ) -> BmcResult:
@@ -192,7 +277,7 @@ class BoundedModelChecker:
 
     def check_invariant_clauses(
         self,
-        clauses: list[list[tuple[str, str, int]]],
+        clauses: Clauses,
         bound: int,
         max_conflicts: int = 2_000_000,
     ) -> BmcResult:
@@ -203,25 +288,38 @@ class BoundedModelChecker:
         ``[negate(a), b]``.  Returns a violation trace if some reachable
         step within the bound falsifies any clause.
         """
-        for clause in clauses:
-            if not clause:
-                raise ValueError("empty clause is unsatisfiable")
-            for name, op, __ in clause:
-                if op not in _OPS:
-                    raise ValueError(f"bad operator {op!r}")
-                self.netlist.width_of(name)  # raises on unknown signal
-        text = " && ".join(
-            "(" + " || ".join(f"{n} {op} {v}" for n, op, v in clause) + ")"
-            if len(clause) > 1 else
-            " || ".join(f"{n} {op} {v}" for n, op, v in clause)
-            for clause in clauses
-        )
+        self._validate_clauses(clauses, self.netlist)
+        text = property_text(clauses)
+        if not self.incremental:
+            return self._check_oneshot(clauses, bound, max_conflicts, text)
 
+        key = tuple(tuple(clause) for clause in clauses)
+        self._extend(bound)
+        cnf = self._cnf
+        violation_lits = [self._viol_lit(key, clauses, i)
+                          for i in range(bound + 1)]
+        query = self._query.get((key, bound))
+        if query is None:
+            query = cnf.new_var()
+            cnf.add_clause([-query] + violation_lits)
+            self._query[(key, bound)] = query
+
+        result, model = cnf.solve(assumptions=[query],
+                                  max_conflicts=max_conflicts)
+        if result is SatResult.UNSAT:
+            return BmcResult(text, bound, violated=False)
+        if result is SatResult.UNKNOWN:
+            return BmcResult(text, bound, violated=False,
+                             solver_result=SatResult.UNKNOWN)
+        trace = self._build_trace(clauses, self._frames[:bound + 1], model)
+        return BmcResult(text, bound, violated=True, trace=trace,
+                         solver_result=SatResult.SAT)
+
+    def _check_oneshot(self, clauses: Clauses, bound: int,
+                       max_conflicts: int, text: str) -> BmcResult:
+        """The non-incremental path: encode, solve and throw away."""
         cnf = Cnf()
-        regs: dict[str, BitVector] = {}
-        for reg in self.netlist.registers.values():
-            vec = BitVector.constant(cnf, reg.reset, self.word)
-            regs[reg.name] = vec
+        regs = self._reset_regs(cnf)
         violation_lits: list[int] = []
         frames: list[dict[str, BitVector]] = []
         for __ in range(bound + 1):
@@ -237,6 +335,13 @@ class BoundedModelChecker:
         if result is SatResult.UNKNOWN:
             return BmcResult(text, bound, violated=False,
                              solver_result=SatResult.UNKNOWN)
+        trace = self._build_trace(clauses, frames, model)
+        return BmcResult(text, bound, violated=True, trace=trace,
+                         solver_result=SatResult.SAT)
+
+    def _build_trace(self, clauses: Clauses,
+                     frames: list[dict[str, BitVector]],
+                     model: dict[int, bool]) -> list[dict[str, int]]:
         trace = []
         for env in frames:
             step = {}
@@ -249,10 +354,156 @@ class BoundedModelChecker:
             trace.append(step)
             if self._violated_in(clauses, step):
                 break
-        return BmcResult(text, bound, violated=True, trace=trace,
-                         solver_result=SatResult.SAT)
+        return trace
 
-    def _atom_lit(self, atom: tuple[str, str, int], env: dict[str, BitVector],
+    # -- mutant cones -------------------------------------------------------------------
+
+    def add_mutant(self, driver: str, expr: Expr, bound: int) -> int:
+        """Encode a mutated design's diff cone under an activation literal.
+
+        ``driver`` is the mutated wire or register (next-value) name and
+        ``expr`` its rewritten expression.  Only signals whose value can
+        differ from the baseline are re-encoded, per frame, guarded by a
+        fresh activation literal; everything else (inputs, reset state,
+        untouched logic) is shared with the baseline unrolling.  Returns
+        the activation literal, the handle for :meth:`check_mutant` and
+        :meth:`retire_mutant`.  Requires ``incremental=True``.
+        """
+        if not self.incremental:
+            raise ValueError("mutant cones need an incremental checker")
+        if driver not in self.netlist.wires \
+                and driver not in self.netlist.registers:
+            raise ValueError(f"unknown driver {driver!r}")
+        self._extend(bound)
+        act = self._cnf.new_var()
+        cone = _MutantCone(act=act, driver=driver, expr=expr)
+        self._mutants[act] = cone
+        self._extend_cone(cone, bound)
+        return act
+
+    def _extend_cone(self, cone: _MutantCone, bound: int) -> None:
+        """Encode the mutant's changed signals for frames up to ``bound``."""
+        self._extend(bound)
+        cnf = self._cnf
+        netlist = self.netlist
+        with cnf.guard(cone.act):
+            while len(cone.envs) <= bound:
+                frame = len(cone.envs)
+                env = dict(self._frames[frame])
+                env.update(cone.frontier)
+                changed = set(cone.frontier)
+                for name in netlist.wire_order():
+                    width, expr = netlist.wires[name]
+                    if name == cone.driver:
+                        expr = cone.expr
+                    elif not (expr.refs() & changed):
+                        continue
+                    value = self._blast(expr, env, cnf)
+                    env[name] = self._truncate(value, width, cnf)
+                    changed.add(name)
+                frontier: dict[str, BitVector] = {}
+                for reg in netlist.registers.values():
+                    expr = reg.next_expr
+                    if reg.name == cone.driver:
+                        expr = cone.expr
+                    elif not (expr.refs() & changed):
+                        continue
+                    value = self._blast(expr, env, cnf)
+                    frontier[reg.name] = self._truncate(value, reg.width, cnf)
+                cone.envs.append(env)
+                cone.changed.append(changed)
+                cone.frontier = frontier
+
+    def _mutant_viol_lits(self, cone: _MutantCone, clauses: Clauses,
+                          bound: int) -> list[int]:
+        """Per-frame violation literals for one property on one mutant.
+
+        Frames the cone does not touch share the baseline literal.
+        """
+        cnf = self._cnf
+        key = tuple(tuple(clause) for clause in clauses)
+        prop_signals = {name for clause in clauses for name, __, __ in clause}
+        violation_lits = []
+        for frame in range(bound + 1):
+            if prop_signals & cone.changed[frame]:
+                lit = cone.viol.get((key, frame))
+                if lit is None:
+                    with cnf.guard(cone.act):
+                        lit = self._violation_lit_clauses(
+                            clauses, cone.envs[frame], cnf)
+                    cone.viol[(key, frame)] = lit
+            else:
+                lit = self._viol_lit(key, clauses, frame)
+            violation_lits.append(lit)
+        return violation_lits
+
+    def _mutant_query(self, cone: _MutantCone, query_key,
+                      violation_lits: list[int]) -> int:
+        cnf = self._cnf
+        query = cone.query.get(query_key)
+        if query is None:
+            query = cnf.new_var()
+            cnf.add_clause([-query] + violation_lits)
+            cone.query[query_key] = query
+        return query
+
+    def check_mutant(self, act: int, clauses: Clauses, bound: int,
+                     max_conflicts: int = 2_000_000) -> BmcResult:
+        """Bounded-check an invariant on the mutant behind ``act``.
+
+        The result carries no trace (PCC only needs the verdict).
+        """
+        self._validate_clauses(clauses, self.netlist)
+        text = property_text(clauses)
+        cone = self._mutants[act]
+        self._extend_cone(cone, bound)
+        cnf = self._cnf
+        key = tuple(tuple(clause) for clause in clauses)
+        violation_lits = self._mutant_viol_lits(cone, clauses, bound)
+        query = self._mutant_query(cone, (key, bound), violation_lits)
+
+        solver = cnf.solver
+        solver.num_vars = max(solver.num_vars, cnf.num_vars)
+        result = solver.solve([cone.act, query], max_conflicts=max_conflicts)
+        if result is SatResult.UNKNOWN:
+            return BmcResult(text, bound, violated=False,
+                             solver_result=SatResult.UNKNOWN)
+        return BmcResult(text, bound, violated=result is SatResult.SAT,
+                         solver_result=result)
+
+    def check_mutant_any(self, act: int, properties: list[Clauses],
+                         bound: int,
+                         max_conflicts: int = 2_000_000) -> SatResult:
+        """One aggregate query: can the mutant violate ANY of ``properties``?
+
+        UNSAT means the mutant survives the whole set -- the common PCC
+        outcome -- for the price of a single solver call.  On SAT the
+        caller still runs :meth:`check_mutant` per property to attribute
+        the kill; on UNKNOWN it should fall back to per-property checks.
+        """
+        for clauses in properties:
+            self._validate_clauses(clauses, self.netlist)
+        cone = self._mutants[act]
+        self._extend_cone(cone, bound)
+        cnf = self._cnf
+        all_lits: list[int] = []
+        for clauses in properties:
+            all_lits.extend(self._mutant_viol_lits(cone, clauses, bound))
+        agg_key = ("any",
+                   tuple(tuple(tuple(c) for c in clauses)
+                         for clauses in properties),
+                   bound)
+        query = self._mutant_query(cone, agg_key, all_lits)
+        solver = cnf.solver
+        solver.num_vars = max(solver.num_vars, cnf.num_vars)
+        return solver.solve([cone.act, query], max_conflicts=max_conflicts)
+
+    def retire_mutant(self, act: int) -> None:
+        """Permanently disable a mutant cone's clauses."""
+        self._mutants.pop(act)
+        self._cnf.add_clause([-act])
+
+    def _atom_lit(self, atom: Atom, env: dict[str, BitVector],
                   cnf: Cnf) -> int:
         name, op, value = atom
         vec = env[name]

@@ -15,6 +15,14 @@ For every mutation of the design:
 with their mutation site — the designer's TODO list for new properties
 (the paper: "if it shows that not enough properties have been used, the
 designer will have to extend the set of properties").
+
+The formal phase is incremental by default: one
+:class:`BoundedModelChecker` session encodes the baseline unrolling
+once, each mutant adds only its diff cone under an activation literal,
+and solver-learned clauses carry across mutants and properties.
+``incremental=False`` restores the fresh-encode-per-mutant path (the
+differential suite pins both to identical reports), and ``jobs=N``
+batches observable mutants across a multiprocessing pool.
 """
 
 from __future__ import annotations
@@ -26,6 +34,7 @@ from typing import Optional
 from repro.rtl.netlist import Netlist
 from repro.verify.mc.bmc import BoundedModelChecker
 from repro.verify.pcc.mutation import Mutation, enumerate_mutations
+from repro.verify.sat import SatResult
 
 
 @dataclass
@@ -100,6 +109,57 @@ class PccReport:
         return "\n".join(lines)
 
 
+def _formal_chunk(netlist: Netlist,
+                  properties: list[list[list[tuple[str, str, int]]]],
+                  bound: int, incremental: bool,
+                  batch: list[tuple[int, Mutation]]) -> list[tuple[int, Optional[str]]]:
+    """Pool worker: formal verdicts for one batch of observable mutants.
+
+    Module-level (picklable by name) on purpose.  Each worker builds its
+    own incremental session, so learned clauses are shared within the
+    batch; returns ``(index, killed_by)`` pairs for order-stable
+    reassembly in the parent.
+    """
+    session = BoundedModelChecker(netlist, incremental=True) \
+        if incremental else None
+    out = []
+    for index, mutation in batch:
+        out.append((index, _formal_verdict(netlist, properties, bound,
+                                           mutation, session)))
+    return out
+
+
+def _formal_verdict(netlist: Netlist,
+                    properties: list[list[list[tuple[str, str, int]]]],
+                    bound: int, mutation: Mutation,
+                    session: Optional[BoundedModelChecker]) -> Optional[str]:
+    """The property text that kills ``mutation``, or None if it survives."""
+    if session is None:
+        checker = BoundedModelChecker(mutation.apply(netlist),
+                                      incremental=False)
+        for clauses in properties:
+            result = checker.check_invariant_clauses(clauses, bound)
+            if result.violated:
+                return result.property_text
+        return None
+    act = session.add_mutant(mutation.driver,
+                             mutation.rewritten_driver(netlist), bound)
+    try:
+        if len(properties) > 1:
+            # One aggregate solve answers "survives everything?" -- the
+            # common case; only a kill pays the per-property queries.
+            if session.check_mutant_any(act, properties, bound) \
+                    is SatResult.UNSAT:
+                return None
+        for clauses in properties:
+            result = session.check_mutant(act, clauses, bound)
+            if result.violated:
+                return result.property_text
+        return None
+    finally:
+        session.retire_mutant(act)
+
+
 class PropertyCoverageChecker:
     """Evaluates a property set's completeness on one netlist.
 
@@ -111,6 +171,9 @@ class PropertyCoverageChecker:
     and read as their conjunction.  All properties must hold on the
     original design (checked first — PCC is only meaningful for a
     passing verification plan).
+
+    ``incremental`` selects the shared-session formal phase;
+    ``jobs`` (>1) fans observable mutants out over a fork pool.
     """
 
     @staticmethod
@@ -128,6 +191,8 @@ class PropertyCoverageChecker:
         sim_length: int = 24,
         seed: int = 11,
         mutation_limit: Optional[int] = None,
+        incremental: bool = True,
+        jobs: Optional[int] = None,
     ):
         netlist.validate()
         self.netlist = netlist
@@ -137,7 +202,16 @@ class PropertyCoverageChecker:
         self.sim_length = sim_length
         self.rng = random.Random(seed)
         self.mutation_limit = mutation_limit
+        self.incremental = incremental
+        self.jobs = jobs
         self._stimuli = self._build_stimuli()
+        self._session: Optional[BoundedModelChecker] = None
+
+    def __getstate__(self) -> dict:
+        # The live solver session never crosses a process boundary.
+        state = dict(self.__dict__)
+        state["_session"] = None
+        return state
 
     # -- functional phase -------------------------------------------------------
 
@@ -172,19 +246,23 @@ class PropertyCoverageChecker:
 
     # -- formal phase ----------------------------------------------------------------
 
-    def _killed_by(self, mutant: Netlist) -> Optional[str]:
-        checker = BoundedModelChecker(mutant)
-        for clauses in self.properties:
-            result = checker.check_invariant_clauses(clauses, self.bound)
-            if result.violated:
-                return result.property_text
-        return None
+    def _shared_session(self) -> Optional[BoundedModelChecker]:
+        if not self.incremental:
+            return None
+        if self._session is None:
+            self._session = BoundedModelChecker(self.netlist, incremental=True)
+        return self._session
+
+    def _killed_by(self, mutation: Mutation) -> Optional[str]:
+        return _formal_verdict(self.netlist, self.properties, self.bound,
+                               mutation, self._shared_session())
 
     # -- main -----------------------------------------------------------------------------
 
     def verify_baseline(self) -> None:
         """Assert every property holds on the unmutated design."""
-        checker = BoundedModelChecker(self.netlist)
+        checker = self._shared_session() \
+            or BoundedModelChecker(self.netlist, incremental=False)
         for clauses in self.properties:
             result = checker.check_invariant_clauses(clauses, self.bound)
             if result.violated:
@@ -208,14 +286,39 @@ class PropertyCoverageChecker:
                 for clauses in self.properties
             ],
         )
+        observable_batch: list[tuple[int, Mutation]] = []
         for mutation in mutations:
             try:
                 mutant = mutation.apply(self.netlist)
             except Exception:
                 continue  # structurally inapplicable: skip
             observable = self._differs(mutant)
-            verdict = MutantVerdict(mutation, observable)
             if observable:
-                verdict.killed_by = self._killed_by(mutant)
-            report.verdicts.append(verdict)
+                observable_batch.append((len(report.verdicts), mutation))
+            report.verdicts.append(MutantVerdict(mutation, observable))
+
+        if self.jobs and self.jobs > 1 and len(observable_batch) > 1:
+            verdicts = self._formal_pool(observable_batch)
+        else:
+            verdicts = [(index, self._killed_by(mutation))
+                        for index, mutation in observable_batch]
+        for index, killed_by in verdicts:
+            report.verdicts[index].killed_by = killed_by
         return report
+
+    def _formal_pool(self, batch: list[tuple[int, Mutation]]
+                     ) -> list[tuple[int, Optional[str]]]:
+        """Fan the formal phase out over a fork pool, one chunk per job."""
+        from repro.api.campaign import fork_context
+
+        jobs = min(self.jobs, len(batch))
+        chunks = [batch[i::jobs] for i in range(jobs)]
+        with fork_context().Pool(processes=jobs) as pool:
+            results = pool.starmap(
+                _formal_chunk,
+                [(self.netlist, self.properties, self.bound,
+                  self.incremental, chunk) for chunk in chunks],
+            )
+        merged = [pair for chunk in results for pair in chunk]
+        merged.sort(key=lambda pair: pair[0])
+        return merged

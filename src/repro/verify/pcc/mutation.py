@@ -47,25 +47,36 @@ class Mutation:
     position: int      # index of the expression node in pre-order
     detail: str
 
-    def apply(self, netlist: Netlist) -> Netlist:
-        """A fresh netlist with this single mutation applied."""
-        mutant = _clone(netlist)
-        mutant.name = f"{netlist.name}~{self.kind}@{self.driver}:{self.position}"
-        counter = [0]
-        if self.driver in mutant.wires:
-            width, expr = mutant.wires[self.driver]
-            mutant.wires[self.driver] = (
-                width, _rewrite(expr, self.position, self.kind, counter)
-            )
-        elif self.driver in mutant.registers:
-            reg = mutant.registers[self.driver]
-            reg.next_expr = _rewrite(reg.next_expr, self.position, self.kind, counter)
+    def rewritten_driver(self, netlist: Netlist) -> Expr:
+        """The mutated driver expression, without cloning the netlist.
+
+        This is what incremental PCC feeds the model checker: the single
+        expression that differs from the baseline design.
+        """
+        if self.driver in netlist.wires:
+            __, expr = netlist.wires[self.driver]
+        elif self.driver in netlist.registers:
+            expr = netlist.registers[self.driver].next_expr
         else:
             raise MutationError(f"unknown driver {self.driver!r}")
+        counter = [0]
+        rewritten = _rewrite(expr, self.position, self.kind, counter)
         if counter[0] <= self.position:
             raise MutationError(
                 f"position {self.position} out of range for {self.driver!r}"
             )
+        return rewritten
+
+    def apply(self, netlist: Netlist) -> Netlist:
+        """A fresh netlist with this single mutation applied."""
+        rewritten = self.rewritten_driver(netlist)
+        mutant = _clone(netlist)
+        mutant.name = f"{netlist.name}~{self.kind}@{self.driver}:{self.position}"
+        if self.driver in mutant.wires:
+            width, __ = mutant.wires[self.driver]
+            mutant.wires[self.driver] = (width, rewritten)
+        else:
+            mutant.registers[self.driver].next_expr = rewritten
         mutant._order = None
         mutant.validate()
         return mutant

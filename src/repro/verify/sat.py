@@ -1,4 +1,4 @@
-"""CDCL SAT solver.
+"""CDCL SAT solver with incremental, assumption-based solving.
 
 The formal engines of the paper's cascade (SAT-based ATPG, bounded model
 checking) need a SAT oracle; RuleBase-era industrial tools embedded
@@ -9,13 +9,40 @@ geometric restarts.
 
 Variables are positive integers; literals are signed integers
 (``-v`` = negated ``v``).  Clauses are lists of literals.
+
+Solver reuse semantics
+----------------------
+A :class:`SatSolver` is incremental: it may be reused across
+:meth:`solve` calls, and clauses may be added between calls.
+
+* **Persists across calls:** the clause database -- including clauses
+  learned in earlier calls; conflict analysis only ever drops literals
+  forced at decision level 0, so a learned clause never bakes in an
+  assumption -- plus level-0 facts (unit clauses and literals derived
+  from them), watcher lists (registered once, at :meth:`add_clause`
+  time), variable activities, and the lifetime counters in
+  :attr:`cumulative`.
+* **Resets per call:** :attr:`stats` (a fresh :class:`SatStats` per
+  call, so a reused solver cannot exhaust ``max_conflicts`` with a
+  previous call's conflicts), the conflict budget itself (overridable
+  per call via ``solve(max_conflicts=...)``), the restart schedule, and
+  every assignment above level 0 -- in particular assumptions, which
+  hold only for the duration of the call that passed them.
+
+Assumptions are established MiniSat-style as decisions at their own
+levels, never as level-0 facts, so an UNSAT-under-assumptions answer
+does not poison later calls.  To make a clause group retractable (e.g.
+one mutant's logic cone), allocate an activation literal
+``act = solver.new_var()``, add each clause as ``[-act] + clause``, and
+pass ``act`` among the assumptions to enable the group; adding the
+permanent unit ``[-act]`` retires it for good.
 """
 
 from __future__ import annotations
 
 import enum
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Optional
 
 
@@ -33,16 +60,26 @@ class SatStats:
     restarts: int = 0
     learned: int = 0
 
+    def accumulate(self, other: "SatStats") -> None:
+        self.decisions += other.decisions
+        self.propagations += other.propagations
+        self.conflicts += other.conflicts
+        self.restarts += other.restarts
+        self.learned += other.learned
+
 
 class SatSolver:
-    """One-shot CDCL solver: add clauses, call :meth:`solve`."""
+    """Incremental CDCL solver: add clauses, call :meth:`solve` repeatedly."""
 
     def __init__(self, max_conflicts: int = 2_000_000):
         self.max_conflicts = max_conflicts
         self.clauses: list[list[int]] = []
         self.num_vars = 0
+        #: per-call counters; replaced with a fresh SatStats on every solve().
         self.stats = SatStats()
-        # Internal solving state (built in solve()):
+        #: lifetime totals across every solve() on this instance.
+        self.cumulative = SatStats()
+        # Internal solving state:
         self._assign: dict[int, bool] = {}
         self._level: dict[int, int] = {}
         self._reason: dict[int, Optional[list[int]]] = {}
@@ -58,21 +95,69 @@ class SatSolver:
         #: while reproducing the original order exactly (max activity,
         #: lowest var on ties).
         self._order: list[tuple[float, int]] = []
+        #: order-heap bookkeeping: built yet? / highest var with an entry.
+        self._order_built = False
+        self._order_vars = 0
+        #: unit literals awaiting their level-0 enqueue at the next solve().
+        self._pending: list[int] = []
+        #: persistent propagation head into _trail.
+        self._qhead = 0
+        #: an explicitly empty clause was added: trivially UNSAT forever.
+        self._has_empty = False
+        #: a contradiction was derived at level 0: UNSAT forever.
+        self._unsat = False
 
     # -- construction ----------------------------------------------------------
 
     def add_clause(self, literals: Iterable[int]) -> None:
-        clause = sorted(set(int(l) for l in literals), key=abs)
+        clause = sorted(set(map(int, literals)), key=abs)
         if not clause:
-            # Empty clause: formula trivially UNSAT; encode as two units.
             self.clauses.append([])
+            self._has_empty = True
             return
-        if any(l == 0 for l in clause):
+        if clause[0] == 0:  # abs-sort puts 0 first
             raise ValueError("literal 0 is not allowed")
-        if any(-l in clause for l in clause):
-            return  # tautology
-        self.num_vars = max(self.num_vars, max(abs(l) for l in clause))
+        for i in range(len(clause) - 1):
+            if clause[i] == -clause[i + 1]:  # v/-v sit adjacent when sorted
+                return  # tautology
+        top = clause[-1]
+        if top < 0:
+            top = -top
+        if top > self.num_vars:
+            self.num_vars = top
         self.clauses.append(clause)
+        if self._trail_lim:
+            self._cancel_until(0)
+        if len(clause) == 1:
+            self._pending.append(clause[0])
+            return
+        assign = self._assign
+        if assign:
+            # Level-0 facts exist (a previous solve() ran): watches must
+            # sit on non-false literals, or the clause could become unit
+            # or conflicting without its watches ever being revisited.
+            open_lits = []
+            falsified = False
+            for l in clause:
+                v = assign.get(l if l > 0 else -l)
+                if v is None:
+                    open_lits.append(l)
+                elif v is (l > 0):
+                    return  # satisfied by a level-0 fact: never constrains
+                else:
+                    falsified = True
+            if falsified:
+                if not open_lits:
+                    self._unsat = True
+                    return
+                if len(open_lits) == 1:
+                    self._pending.append(open_lits[0])
+                    return
+                for slot in (0, 1):
+                    where = clause.index(open_lits[slot])
+                    clause[slot], clause[where] = clause[where], clause[slot]
+        self._watch(clause[0], clause)
+        self._watch(clause[1], clause)
 
     def new_var(self) -> int:
         self.num_vars += 1
@@ -99,13 +184,27 @@ class SatSolver:
 
     # -- propagation -------------------------------------------------------------------
 
-    def _propagate(self, head: int) -> tuple[Optional[list[int]], int]:
-        """Unit propagation from trail index ``head``; returns (conflict, head)."""
-        while head < len(self._trail):
-            lit = self._trail[head]
+    def _propagate(self) -> Optional[list[int]]:
+        """Unit propagation from the persistent head; returns a conflict or None.
+
+        The literal-value tests are inlined (no :meth:`_value` calls):
+        ``assign.get(var) is (lit > 0)`` reads "lit is assigned True" --
+        this is by far the hottest loop in the solver.
+        """
+        assign = self._assign
+        trail = self._trail
+        watches = self._watches
+        levels = self._level
+        reasons = self._reason
+        stats = self.stats
+        head = self._qhead
+        while head < len(trail):
+            lit = trail[head]
             head += 1
             false_lit = -lit
-            watchlist = self._watches.get(false_lit, [])
+            watchlist = watches.get(false_lit)
+            if not watchlist:
+                continue
             index = 0
             while index < len(watchlist):
                 clause = watchlist[index]
@@ -113,15 +212,18 @@ class SatSolver:
                 if clause[0] == false_lit:
                     clause[0], clause[1] = clause[1], clause[0]
                 first = clause[0]
-                if self._value(first) is True:
+                fval = assign.get(first if first > 0 else -first)
+                if fval is (first > 0):
                     index += 1
                     continue
                 # Look for a replacement watch.
                 moved = False
                 for k in range(2, len(clause)):
-                    if self._value(clause[k]) is not False:
-                        clause[1], clause[k] = clause[k], clause[1]
-                        self._watch(clause[1], clause)
+                    other = clause[k]
+                    oval = assign.get(other if other > 0 else -other)
+                    if oval is None or oval is (other > 0):
+                        clause[1], clause[k] = other, clause[1]
+                        watches.setdefault(other, []).append(clause)
                         watchlist[index] = watchlist[-1]
                         watchlist.pop()
                         moved = True
@@ -129,12 +231,18 @@ class SatSolver:
                 if moved:
                     continue
                 # No replacement: clause is unit or conflicting.
-                if self._value(first) is False:
-                    return clause, head  # conflict
-                self._enqueue(first, clause)
-                self.stats.propagations += 1
+                if fval is not None:  # first is assigned False
+                    self._qhead = head
+                    return clause  # conflict
+                var = first if first > 0 else -first
+                assign[var] = first > 0
+                levels[var] = len(self._trail_lim)
+                reasons[var] = clause
+                trail.append(first)
+                stats.propagations += 1
                 index += 1
-        return None, head
+        self._qhead = head
+        return None
 
     # -- conflict analysis ------------------------------------------------------------------
 
@@ -201,19 +309,78 @@ class SatSolver:
                        for var in range(1, self.num_vars + 1)
                        if var not in assign]
         heapq.heapify(self._order)
+        self._order_built = True
+        self._order_vars = self.num_vars
+
+    def _sync_order(self) -> None:
+        """Bring the order heap up to date at the start of a solve.
+
+        The first solve builds it from scratch (exactly the original
+        fresh-solver behaviour); later solves only add entries for vars
+        created since -- :meth:`_bump` and :meth:`_backjump` already
+        keep existing unassigned vars' entries current in between.
+        """
+        if not self._order_built:
+            self._rebuild_order()
+            return
+        if self._order_vars >= self.num_vars:
+            return
+        activity = self._activity
+        assign = self._assign
+        entries = [(-activity.get(var, 0.0), var)
+                   for var in range(self._order_vars + 1, self.num_vars + 1)
+                   if var not in assign]
+        self._order_vars = self.num_vars
+        order = self._order
+        if len(entries) > 4096:
+            if len(order) + len(entries) > 2 * (self.num_vars - len(assign)):
+                self._rebuild_order()
+            else:
+                order.extend(entries)
+                heapq.heapify(order)
+        else:
+            for entry in entries:
+                heapq.heappush(order, entry)
 
     def _backjump(self, level: int) -> None:
+        if len(self._trail_lim) <= level:
+            return
         order = self._order
         activity = self._activity
-        while self._trail_lim and len(self._trail_lim) > level:
-            mark = self._trail_lim.pop()
-            while len(self._trail) > mark:
-                lit = self._trail.pop()
-                var = abs(lit)
-                del self._assign[var]
-                del self._level[var]
-                del self._reason[var]
-                heapq.heappush(order, (-activity.get(var, 0.0), var))
+        assign = self._assign
+        levels = self._level
+        reasons = self._reason
+        trail = self._trail
+        mark = self._trail_lim[level]
+        del self._trail_lim[level:]
+        tail = trail[mark:]
+        del trail[mark:]
+        entries = []
+        for lit in tail:
+            var = lit if lit > 0 else -lit
+            del assign[var]
+            del levels[var]
+            del reasons[var]
+            entries.append((-activity.get(var, 0.0), var))
+        if len(entries) > 4096:
+            # A heap's pop sequence is the sorted order of its multiset,
+            # so one O(n) heapify replaces n O(log n) pushes unobserved.
+            if len(order) + len(entries) > 2 * (self.num_vars - len(assign)):
+                # Mostly stale entries: compact instead.  Activities only
+                # grow, so dropping superseded entries cannot change
+                # which entry for a var surfaces first.
+                self._rebuild_order()
+            else:
+                order.extend(entries)
+                heapq.heapify(order)
+        else:
+            for entry in entries:
+                heapq.heappush(order, entry)
+
+    def _cancel_until(self, level: int) -> None:
+        self._backjump(level)
+        if self._qhead > len(self._trail):
+            self._qhead = len(self._trail)
 
     def _pick_branch(self) -> Optional[int]:
         order = self._order
@@ -227,65 +394,86 @@ class SatSolver:
 
     # -- main loop -----------------------------------------------------------------------------
 
-    def solve(self, assumptions: Iterable[int] = ()) -> SatResult:
-        """Solve the current clause set; model available via :meth:`model`."""
-        if any(not c for c in self.clauses):
-            return SatResult.UNSAT
-        self._assign.clear()
-        self._level.clear()
-        self._reason.clear()
-        self._trail.clear()
-        self._trail_lim.clear()
-        self._watches.clear()
+    def solve(self, assumptions: Iterable[int] = (),
+              max_conflicts: Optional[int] = None) -> SatResult:
+        """Solve the current clause set; model available via :meth:`model`.
 
-        for clause in self.clauses:
-            if len(clause) == 1:
-                if self._value(clause[0]) is False:
+        ``assumptions`` hold for this call only; ``max_conflicts``
+        overrides the instance-level conflict budget for this call only.
+        """
+        self.stats = SatStats()
+        budget = self.max_conflicts if max_conflicts is None else max_conflicts
+        assumed = list(assumptions)
+        for lit in assumed:
+            self.num_vars = max(self.num_vars, abs(lit))
+        try:
+            return self._search(assumed, budget)
+        finally:
+            self.cumulative.accumulate(self.stats)
+
+    def _search(self, assumptions: list[int], budget: int) -> SatResult:
+        if self._has_empty or self._unsat:
+            return SatResult.UNSAT
+        self._cancel_until(0)
+        if self._pending:
+            pending, self._pending = self._pending, []
+            for lit in pending:
+                value = self._value(lit)
+                if value is False:
+                    self._unsat = True
                     return SatResult.UNSAT
-                if self._value(clause[0]) is None:
-                    self._enqueue(clause[0], None)
-            else:
-                self._watch(clause[0], clause)
-                self._watch(clause[1], clause)
-        for lit in assumptions:
-            if self._value(lit) is False:
-                return SatResult.UNSAT
-            if self._value(lit) is None:
-                self._enqueue(lit, None)
-
-        head = 0
-        conflict, head = self._propagate(head)
+                if value is None:
+                    self._enqueue(lit, None)
+        conflict = self._propagate()
         if conflict is not None:
+            self._unsat = True
             return SatResult.UNSAT
-        self._rebuild_order()
+        self._sync_order()
 
         restart_limit = 100
         conflicts_since_restart = 0
         while True:
-            decision = self._pick_branch()
-            if decision is None:
-                return SatResult.SAT
-            self.stats.decisions += 1
-            self._trail_lim.append(len(self._trail))
-            self._enqueue(decision, None)
+            if len(self._trail_lim) < len(assumptions):
+                # Establish (or re-establish after a restart/backjump)
+                # the next assumption before any free decision.
+                lit = assumptions[len(self._trail_lim)]
+                value = self._value(lit)
+                if value is False:
+                    return SatResult.UNSAT  # UNSAT under these assumptions
+                if value is True:
+                    self._trail_lim.append(len(self._trail))  # dummy level
+                    continue
+                self._trail_lim.append(len(self._trail))
+                self._enqueue(lit, None)
+            else:
+                decision = self._pick_branch()
+                if decision is None:
+                    return SatResult.SAT
+                self.stats.decisions += 1
+                self._trail_lim.append(len(self._trail))
+                self._enqueue(decision, None)
             while True:
-                conflict, head = self._propagate(head)
+                conflict = self._propagate()
                 if conflict is None:
                     break
                 self.stats.conflicts += 1
                 conflicts_since_restart += 1
-                if self.stats.conflicts > self.max_conflicts:
+                if self.stats.conflicts > budget:
+                    self._cancel_until(0)
                     return SatResult.UNKNOWN
                 if not self._trail_lim:
+                    self._unsat = True
                     return SatResult.UNSAT
                 learned, back_level = self._analyze(conflict)
                 self._backjump(back_level)
-                head = len(self._trail)
+                self._qhead = len(self._trail)
                 self._decay()
                 if not learned:
+                    self._unsat = True
                     return SatResult.UNSAT
                 if len(learned) == 1:
                     if self._value(learned[0]) is False:
+                        self._unsat = True
                         return SatResult.UNSAT
                     if self._value(learned[0]) is None:
                         self._enqueue(learned[0], None)
@@ -301,7 +489,7 @@ class SatSolver:
                     restart_limit = int(restart_limit * 1.5)
                     self.stats.restarts += 1
                     self._backjump(0)
-                    head = len(self._trail)
+                    self._qhead = len(self._trail)
                     break
 
     def model(self) -> dict[int, bool]:
