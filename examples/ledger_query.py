@@ -1,0 +1,75 @@
+"""Querying the provenance ledger over a campaign store.
+
+A :class:`~repro.ledger.Ledger` extracts typed relations — store
+entries, deduplicated specs, engine provenance, the FPGA contexts each
+run's reconfiguration journal touched, jobs, leases, runners — from a
+campaign store (plus optionally a job queue and fleet stats), and
+answers relational queries over them: a chainable Python builder and a
+compact textual form (the same language ``repro query '<expr>'`` and
+``POST /v1/query`` accept).
+
+Run:  python examples/ledger_query.py [store-dir]
+"""
+
+import sys
+
+from repro.api import Campaign, CampaignSpec, CampaignStore
+from repro.ledger import Ledger, export_bundle, parse_query, verify_bundle
+
+
+def main() -> None:
+    store_dir = sys.argv[1] if len(sys.argv) > 1 else "campaign-store"
+    store = CampaignStore(store_dir)
+
+    base = CampaignSpec(name="ledger-demo", identities=2, poses=1,
+                        size=16, frames=1, levels=(1, 2, 3))
+    grid = {"frames": [1, 2]}
+    sweep = Campaign.sweep(base, grid, store=store, resume=True)
+    print(f"sweep {'passed' if sweep.passed else 'FAILED'}; "
+          f"store now holds {len(store.ls())} entries\n")
+
+    ledger = Ledger.from_store(store)
+    print(ledger.describe())
+    print()
+
+    # ROADMAP exemplar 1: which stored results were produced by engine
+    # revision < N?  (Textual form, as `repro query` would run it.)
+    rows = ledger.run("entry where engine_rev < 2 and status == 'ok' "
+                      "select name, key, engine_rev")
+    print("produced by engine revision < 2:")
+    for row in rows:
+        print(f"  {row['name']:<24} rev {row['engine_rev']} "
+              f"{row['key'][:12]}")
+    print()
+
+    # ROADMAP exemplar 2: which specs' journals ever touched FPGA
+    # context 'config2'?  (Builder form of the same engine.)
+    rows = (ledger.query("journal_touched")
+            .where(fpga_ctx="config2")
+            .join("spec", on=("spec_hash", "hash"))
+            .select("name", "functions").rows())
+    print("journals that touched FPGA context 'config2':")
+    for row in rows:
+        print(f"  {row['name']:<24} functions {row['functions']}")
+    print()
+
+    # The gc-policy contract: a query's keys() are exactly what
+    # `repro store gc --policy '<query>'` would delete.
+    policy = parse_query(
+        ledger, "entry where engine_rev < 1 and active_job == false")
+    print(f"gc policy 'engine_rev < 1' would delete "
+          f"{len(policy.keys())} entries")
+    print()
+
+    # Signed archival export: spec + store keys + revision pins +
+    # sha256 manifest, verifiable anywhere without the producing code.
+    bundle_dir = f"{store_dir}-bundle"
+    report = export_bundle(store, base.to_dict(), bundle_dir, sweep=grid)
+    verdict = verify_bundle(bundle_dir)
+    print(f"exported {report['keys']} entries to {report['bundle']} "
+          f"({report['signature'][:28]}…)")
+    print(f"bundle verifies: {verdict['ok']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -59,6 +59,10 @@ def main(argv=None) -> int:
                              "store (zero recomputes)")
     parser.add_argument("--json-out", metavar="FILE",
                         help="write the summary document to FILE")
+    parser.add_argument("--facts-out", metavar="FILE",
+                        help="write the provenance ledger extracted from "
+                             "the store to FILE (canonical JSON; the CI "
+                             "nightly diffs the cold and warm runs' facts)")
     args = parser.parse_args(argv)
 
     store = CampaignStore(args.store)
@@ -86,6 +90,14 @@ def main(argv=None) -> int:
         with open(args.json_out, "w") as stream:
             json.dump(summary, stream, indent=2, sort_keys=True)
         print(f"summary written to {args.json_out}")
+    if args.facts_out:
+        from repro.ledger import Ledger
+
+        ledger = Ledger.from_store(store)
+        with open(args.facts_out, "w") as stream:
+            json.dump(ledger.to_dict(), stream, indent=2, sort_keys=True)
+        print(f"{sum(ledger.counts().values())} ledger facts written "
+              f"to {args.facts_out}")
     if failed:
         print("FAILURE: at least one sweep point failed its gates")
         return 1

@@ -10,7 +10,13 @@ the pluggable :mod:`repro.workloads` registry:
   (single run or grid sweep, optionally parallel with ``--jobs``);
 - ``workloads`` — list the registered workloads;
 - ``store``     — inspect/maintain a content-addressed campaign store
-  (``ls``/``show``/``gc``, with ``gc --dry-run`` previewing deletions);
+  (``ls``/``show``/``pack``/``gc``, with ``gc --dry-run`` previewing
+  deletions and ``gc --policy 'QUERY'`` deleting a ledger query's
+  result set);
+- ``ledger``    — the provenance ledger over a store (``query`` runs a
+  relational query over extracted facts, ``export`` writes/verifies
+  signed archival bundles); ``repro query`` and ``repro export`` are
+  top-level aliases;
 - ``service``   — the campaign service daemon and its HTTP client
   (``start``/``submit``/``status``/``watch``);
 - ``explore``   — the level-2 architecture exploration sweep;
@@ -106,7 +112,9 @@ def cmd_topology(args) -> int:
     from repro.flow.reportgen import topology_figure
 
     session = Session(_spec(args))
-    print(topology_figure(session.graph))
+    figure = topology_figure(session.graph)
+    _emit(args, {"schema": "repro.topology/v1",
+                 "workload": args.workload, "figure": figure}, figure)
     return 0
 
 
@@ -203,20 +211,36 @@ def cmd_store(args) -> int:
         _emit(args, document, text)
         return 0
     # gc
-    protect = frozenset()
+    queue = None
     if getattr(args, "queue", None):
+        from repro.service.queue import JobQueue
+
+        try:
+            queue = JobQueue(args.queue, create=False)
+        except (FileNotFoundError, ValueError) as exc:
+            raise SystemExit(str(exc))
+    protect = frozenset()
+    if queue is not None:
         # Entries referenced by queued/running jobs are live even though
         # the jobs haven't produced (or re-verified) them yet — a gc
         # racing the queue must not delete the failure entries those
         # jobs are about to retry.
-        from repro.service.queue import JobQueue, active_store_keys
+        from repro.service.queue import active_store_keys
+
+        protect = active_store_keys(queue)
+    drop = frozenset()
+    if getattr(args, "policy", None):
+        # Ledger-driven gc: the policy query's result set — and exactly
+        # it — is deleted (minus the protected keys; dry-run lists it).
+        from repro.ledger import Ledger, QueryError, parse_query
 
         try:
-            protect = active_store_keys(JobQueue(args.queue, create=False))
-        except (FileNotFoundError, ValueError) as exc:
-            raise SystemExit(str(exc))
+            ledger = Ledger.from_store(store, queue=queue)
+            drop = frozenset(parse_query(ledger, args.policy).keys())
+        except QueryError as exc:
+            raise SystemExit(f"bad --policy query: {exc}")
     stats = store.gc(failed=args.failed, dry_run=args.dry_run,
-                     protect=protect)
+                     protect=protect, drop=drop)
     document = {"schema": "repro.store_gc/v1", "store": str(store.root),
                 **stats}
     verb = "would remove" if args.dry_run else "removed"
@@ -224,6 +248,9 @@ def cmd_store(args) -> int:
             f"{stats['removed_corrupt']} corrupt entries, "
             f"{stats['removed_failed']} failed entries; "
             f"{stats['kept']} entries kept")
+    if getattr(args, "policy", None):
+        text += (f"; policy matched {stats['removed_policy']} "
+                 f"entr{'y' if stats['removed_policy'] == 1 else 'ies'}")
     if stats["protected"]:
         text += (f"; {stats['protected']} spared (referenced by active "
                  f"jobs)")
@@ -233,6 +260,127 @@ def cmd_store(args) -> int:
         text += "\n" + "\n".join(f"  protected {key}"
                                  for key in stats["protected_keys"])
     _emit(args, document, text)
+    return 0
+
+
+def _rows_table(rows: list) -> str:
+    """Query result rows as an aligned operator table."""
+    if not rows:
+        return "0 rows"
+    columns: list[str] = []
+    for row in rows:
+        for name in row:
+            if name not in columns:
+                columns.append(name)
+
+    def cell(value) -> str:
+        return value if isinstance(value, str) else json.dumps(value)
+
+    table = [[cell(row.get(name)) for name in columns] for row in rows]
+    widths = [max(len(name), *(len(line[i]) for line in table))
+              for i, name in enumerate(columns)]
+    lines = ["  ".join(f"{name:<{width}}"
+                       for name, width in zip(columns, widths)).rstrip()]
+    for line in table:
+        lines.append("  ".join(f"{value:<{width}}" for value, width
+                               in zip(line, widths)).rstrip())
+    lines.append(f"{len(rows)} row{'' if len(rows) == 1 else 's'}")
+    return "\n".join(lines)
+
+
+def _open_ledger(args):
+    """Build a :class:`repro.ledger.Ledger` from ``--store``/``--queue``."""
+    from repro.ledger import Ledger
+    from repro.store import CampaignStore
+
+    try:
+        store = CampaignStore(args.store, create=False)
+    except (FileNotFoundError, ValueError) as exc:
+        raise SystemExit(str(exc))
+    queue = None
+    if getattr(args, "queue", None):
+        from repro.service.queue import JobQueue
+
+        try:
+            queue = JobQueue(args.queue, create=False)
+        except (FileNotFoundError, ValueError) as exc:
+            raise SystemExit(str(exc))
+    return Ledger.from_store(store, queue=queue)
+
+
+def cmd_ledger(args) -> int:
+    """``repro ledger query|export`` (aliases: ``repro query|export``)."""
+    from repro.ledger import (
+        ExportError,
+        QueryError,
+        export_bundle,
+        resolve_key,
+        verify_bundle,
+    )
+
+    if args.ledger_command == "query":
+        if args.url and args.store:
+            raise SystemExit("pass --store or --url, not both")
+        if args.url:
+            from repro.service import ServiceClient, ServiceError
+
+            try:
+                document = ServiceClient(args.url).query(args.query)
+            except ServiceError as exc:
+                raise SystemExit(str(exc))
+        else:
+            if not args.store:
+                raise SystemExit("query needs --store PATH (or --url URL "
+                                 "for a running service)")
+            ledger = _open_ledger(args)
+            try:
+                rows = ledger.run(args.query)
+            except QueryError as exc:
+                raise SystemExit(f"bad query: {exc}")
+            document = {"schema": "repro.ledger_query/v1",
+                        "query": args.query, "count": len(rows),
+                        "rows": rows, "facts": ledger.counts()}
+        _emit(args, document, _rows_table(document["rows"]))
+        return 0
+    # export
+    try:
+        key = resolve_key(args.key, args.key_file)
+    except ExportError as exc:
+        raise SystemExit(str(exc))
+    if args.verify:
+        try:
+            report = verify_bundle(args.target, key=key)
+        except ExportError as exc:
+            raise SystemExit(str(exc))
+        verdict = "OK" if report["ok"] else "FAILED"
+        text = (f"verify {args.target}: {verdict} — {report['keys']} "
+                f"entries, {report['files_checked']} files checked")
+        if report["errors"]:
+            text += "\n" + "\n".join(f"  {error}"
+                                     for error in report["errors"])
+        _emit(args, report, text)
+        return 0 if report["ok"] else 1
+    if not args.store or not args.out:
+        raise SystemExit("export needs --store PATH and --out DIR "
+                         "(or --verify BUNDLE)")
+    from repro.store import CampaignStore
+
+    try:
+        store = CampaignStore(args.store, create=False)
+    except (FileNotFoundError, ValueError) as exc:
+        raise SystemExit(str(exc))
+    try:
+        spec_doc, sweep = _load_submission(args.target)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot read spec file {args.target}: {exc}")
+    try:
+        report = export_bundle(store, spec_doc, args.out, sweep=sweep,
+                               key=key)
+    except ExportError as exc:
+        raise SystemExit(str(exc))
+    _emit(args, report,
+          f"exported {report['name']!r}: {report['keys']} entries, "
+          f"{report['bytes']} bytes -> {report['bundle']}")
     return 0
 
 
@@ -488,8 +636,56 @@ def cmd_wave(args) -> int:
     stimulus += [{"start": 0, "arg_n": 0}] * (args.cycles - 1)
     with open(args.out, "w") as stream:
         cycles = dump_fsmd_run(netlist, stimulus, stream)
-    print(f"wrote {cycles} cycles of {netlist.name} to {args.out}")
+    _emit(args, {"schema": "repro.wave/v1", "module": netlist.name,
+                 "cycles": cycles, "out": args.out},
+          f"wrote {cycles} cycles of {netlist.name} to {args.out}")
     return 0
+
+
+def _add_ledger_query_args(parser: argparse.ArgumentParser) -> None:
+    """``repro [ledger] query`` arguments (one definition, two spellings)."""
+    parser.add_argument(
+        "query",
+        help="textual query, e.g. \"entry where engine_rev < 2 and "
+             "status == 'ok'\" or \"journal_touched where fpga_ctx == "
+             "'FE' join spec on spec_hash = hash select name, key\"")
+    parser.add_argument("--store", metavar="PATH", default=None,
+                        help="campaign store directory to extract facts "
+                             "from")
+    parser.add_argument("--queue", metavar="DIR", default=None,
+                        help="job queue directory: adds job/lease facts "
+                             "and the entry.active_job flag")
+    parser.add_argument("--url", metavar="URL", default=None,
+                        help="query a running campaign service "
+                             "(POST /v1/query) instead of a local store")
+    _add_json_arg(parser)
+    parser.set_defaults(func=cmd_ledger, ledger_command="query")
+
+
+def _add_ledger_export_args(parser: argparse.ArgumentParser) -> None:
+    """``repro [ledger] export`` arguments (one definition, two
+    spellings)."""
+    parser.add_argument(
+        "target",
+        help="campaign spec file to export (a spec document or "
+             '{"spec", "sweep"}); with --verify, a bundle directory')
+    parser.add_argument("--store", metavar="PATH", default=None,
+                        help="campaign store directory holding the "
+                             "verified results to bundle")
+    parser.add_argument("--out", metavar="DIR", default=None,
+                        help="bundle directory to write")
+    parser.add_argument("--verify", action="store_true",
+                        help="treat TARGET as an existing bundle and "
+                             "re-check its signature, file hashes and "
+                             "entry content addresses")
+    parser.add_argument("--key", default=None,
+                        help="signing/verification key (utf-8 text); "
+                             "default is a public integrity-seal key")
+    parser.add_argument("--key-file", metavar="FILE", default=None,
+                        help="read the key from FILE (raw bytes, "
+                             "surrounding whitespace stripped)")
+    _add_json_arg(parser)
+    parser.set_defaults(func=cmd_ledger, ledger_command="export")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -501,6 +697,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_topology = sub.add_parser("topology", help="print the system model")
     _add_workload_args(p_topology, frames=False)
+    _add_json_arg(p_topology)
     p_topology.set_defaults(func=cmd_topology)
 
     p_flow = sub.add_parser("flow", help="run the full four-level flow")
@@ -555,6 +752,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--queue", metavar="DIR", default=None,
         help="job queue directory: never delete entries referenced by "
              "its queued/running jobs")
+    p_store_gc.add_argument(
+        "--policy", metavar="QUERY", default=None,
+        help="ledger query selecting entries to delete, e.g. "
+             "\"entry where engine_rev < 2 and active_job == false\"; "
+             "the query's result set — and exactly it — is removed "
+             "(combine with --dry-run to preview)")
     p_store_pack = store_sub.add_parser(
         "pack", help="pack loose entries into a pack + index pair")
     p_store_pack.add_argument(
@@ -565,6 +768,21 @@ def build_parser() -> argparse.ArgumentParser:
                            help="campaign store directory")
         _add_json_arg(p_sub)
         p_sub.set_defaults(func=cmd_store)
+
+    p_ledger = sub.add_parser(
+        "ledger",
+        help="query the provenance ledger / signed export bundles")
+    ledger_sub = p_ledger.add_subparsers(dest="ledger_verb", required=True)
+    _add_ledger_query_args(ledger_sub.add_parser(
+        "query", help="run a relational query over extracted facts"))
+    _add_ledger_export_args(ledger_sub.add_parser(
+        "export", help="write (or --verify) a signed archival bundle"))
+    # Top-level spellings from the ROADMAP: ``repro query '<expr>'``
+    # and ``repro export <spec>`` are aliases of the noun-verb forms.
+    _add_ledger_query_args(sub.add_parser(
+        "query", help="alias for 'ledger query'"))
+    _add_ledger_export_args(sub.add_parser(
+        "export", help="alias for 'ledger export'"))
 
     p_service = sub.add_parser(
         "service", help="run or talk to the campaign service daemon")
@@ -693,6 +911,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_wave.add_argument("--cycles", type=int, default=64,
                         help="cycles to trace")
     p_wave.add_argument("--out", default="root.vcd", help="output VCD path")
+    _add_json_arg(p_wave)
     p_wave.set_defaults(func=cmd_wave)
     return parser
 

@@ -28,6 +28,7 @@ import threading
 import time
 from typing import Any, Mapping, Optional
 
+from repro.records import RunnerStats
 from repro.service.queue import StaleLease
 from repro.service.workers import RESULT_SCHEMA
 
@@ -51,7 +52,7 @@ class FleetState:
 
     def __init__(self):
         self._lock = threading.Lock()
-        self._runners: dict[str, dict] = {}
+        self._runners: dict[str, RunnerStats] = {}
         self.expired_requeues = 0
         self.warm_completed = 0
         self.zombie_drops = 0
@@ -59,13 +60,12 @@ class FleetState:
 
     def saw_runner(self, name: str, event: str) -> None:
         with self._lock:
-            runner = self._runners.setdefault(name, {
-                "first_seen": time.time(), "claims": 0, "heartbeats": 0,
-                "uploads": 0,
-            })
-            runner["last_seen"] = time.time()
-            if event in ("claims", "heartbeats", "uploads"):
-                runner[event] += 1
+            now = time.time()
+            runner = self._runners.get(name)
+            if runner is None:
+                runner = self._runners[name] = RunnerStats(
+                    first_seen=now, last_seen=now)
+            runner.saw(now, event)
 
     def count(self, counter: str, amount: int = 1) -> None:
         with self._lock:
@@ -74,8 +74,8 @@ class FleetState:
     def snapshot(self) -> dict:
         with self._lock:
             return {
-                "runners": {name: dict(info)
-                            for name, info in self._runners.items()},
+                "runners": {name: stats.to_dict()
+                            for name, stats in self._runners.items()},
                 "expired_requeues": self.expired_requeues,
                 "warm_completed": self.warm_completed,
                 "zombie_drops": self.zombie_drops,

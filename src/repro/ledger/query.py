@@ -1,0 +1,500 @@
+"""The ledger's query surface: a Python builder and a textual form.
+
+Two entry points over the same engine:
+
+- :class:`Query` — a chainable builder::
+
+      ledger.query("entry").where(engine_rev__lt=2, status="ok") \\
+            .join("spec", on=("spec_hash", "hash")) \\
+            .select("key", "name").rows()
+
+- :func:`parse_query` — a compact textual form (what ``repro query``
+  and ``POST /v1/query`` accept), compiled onto the same builder::
+
+      entry where engine_rev < 2 and status == 'ok'
+          join spec on spec_hash = hash
+          select key, name
+
+Grammar (keywords are case-insensitive; clauses may repeat and apply
+in order, like a tiny pipeline)::
+
+    query  :=  relation clause*
+    clause :=  'where' expr
+            |  'join' relation ['on' field ['=' field]]
+            |  'select' field (',' field)*
+    expr   :=  comparisons composed with 'and' / 'or' / 'not' / parens
+    cmp    :=  operand (op operand)?          # a bare field is truthy
+    op     :=  == | = | != | < | <= | > | >= | in | not in | contains
+
+Operands are field names (dotted names allowed — a join prefixes the
+right side's colliding fields with ``<relation>.``) or JSON-ish
+literals: single- or double-quoted strings, numbers, ``true`` /
+``false`` / ``null`` and ``[...]`` lists.  Comparisons against rows
+where the field is missing or of an incomparable type are simply
+false, never an error — facts are heterogeneous and a query must not
+crash on the rows it was going to filter out anyway.
+
+In the spirit of CrocoPat's relational queries over program structure,
+the language is deliberately tiny: relations in, relations out, no
+aggregation — counting and sorting belong to the caller.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, Optional, Union
+
+
+class QueryError(ValueError):
+    """A query that cannot be parsed or evaluated (HTTP 400)."""
+
+
+# -- evaluation primitives --------------------------------------------------------
+
+
+def _cmp(operator: Callable[[Any, Any], bool]) -> Callable[[Any, Any], bool]:
+    """Wrap an ordering operator so incomparable operands are False."""
+
+    def apply(left: Any, right: Any) -> bool:
+        try:
+            return bool(operator(left, right))
+        except TypeError:
+            return False
+
+    return apply
+
+
+def _contains(left: Any, right: Any) -> bool:
+    try:
+        return right in left
+    except TypeError:
+        return False
+
+
+def _is_in(left: Any, right: Any) -> bool:
+    try:
+        return left in right
+    except TypeError:
+        return False
+
+
+OPERATORS: dict[str, Callable[[Any, Any], bool]] = {
+    "==": lambda a, b: a == b,
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": _cmp(lambda a, b: a < b),
+    "<=": _cmp(lambda a, b: a <= b),
+    ">": _cmp(lambda a, b: a > b),
+    ">=": _cmp(lambda a, b: a >= b),
+    "in": _is_in,
+    "not in": lambda a, b: not _is_in(a, b),
+    "contains": _contains,
+}
+
+#: Builder keyword-filter suffixes (``field__lt=2``) to operators.
+_SUFFIX_OPS = {"eq": "==", "ne": "!=", "lt": "<", "le": "<=", "gt": ">",
+               "ge": ">=", "in": "in", "contains": "contains"}
+
+
+class Field:
+    """A field reference inside an expression (resolved per row)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def resolve(self, row: dict) -> Any:
+        return row.get(self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover (debug aid)
+        return f"Field({self.name!r})"
+
+
+def _operand_value(operand: Any, row: dict) -> Any:
+    return operand.resolve(row) if isinstance(operand, Field) else operand
+
+
+def compare(left: Any, op: str, right: Any) -> Callable[[dict], bool]:
+    """A row predicate applying ``op`` to two operands."""
+    try:
+        operator = OPERATORS[op]
+    except KeyError:
+        raise QueryError(f"unknown operator {op!r}; "
+                         f"one of {sorted(OPERATORS)}") from None
+
+    def predicate(row: dict) -> bool:
+        return operator(_operand_value(left, row),
+                        _operand_value(right, row))
+
+    return predicate
+
+
+# -- the builder ------------------------------------------------------------------
+
+
+class Query:
+    """One immutable query over a :class:`~repro.ledger.facts.Ledger`.
+
+    Every chaining method returns a *new* Query, so partial queries can
+    be shared and extended; nothing touches the ledger until
+    :meth:`rows` (or :meth:`keys` / :meth:`count`) executes the clause
+    pipeline.
+    """
+
+    def __init__(self, ledger, relation: str,
+                 _ops: tuple = ()):  # noqa: ANN001 (Ledger: cyclic hint)
+        if relation not in ledger.relations:
+            raise QueryError(
+                f"unknown relation {relation!r}; "
+                f"one of {sorted(ledger.relations)}")
+        self._ledger = ledger
+        self.relation = relation
+        self._ops = _ops
+
+    def _extend(self, op: tuple) -> "Query":
+        return Query(self._ledger, self.relation, self._ops + (op,))
+
+    # -- clauses ------------------------------------------------------------------
+
+    def where(self, predicate: Optional[Callable[[dict], bool]] = None,
+              **filters) -> "Query":
+        """Keep rows matching ``predicate`` and every keyword filter.
+
+        Keyword filters are ``field=value`` equality by default; a
+        ``__<op>`` suffix picks another operator (``engine_rev__lt=2``,
+        ``status__ne="ok"``, ``fpga_ctx__in=["FE", "PCA"]``,
+        ``functions__contains="pca_project"``).
+        """
+        predicates: list[Callable[[dict], bool]] = []
+        if predicate is not None:
+            predicates.append(predicate)
+        for spec, value in filters.items():
+            name, _, suffix = spec.partition("__")
+            if suffix and suffix not in _SUFFIX_OPS:
+                raise QueryError(
+                    f"unknown filter suffix {suffix!r} in {spec!r}; "
+                    f"one of {sorted(_SUFFIX_OPS)}")
+            op = _SUFFIX_OPS[suffix] if suffix else "=="
+            predicates.append(compare(Field(name), op, value))
+        if not predicates:
+            return self
+
+        def conjunction(row: dict) -> bool:
+            return all(p(row) for p in predicates)
+
+        return self._extend(("where", conjunction))
+
+    def join(self, relation: str,
+             on: Union[str, tuple[str, str], None] = None) -> "Query":
+        """Equi-join the current rows with another relation.
+
+        ``on`` is either one shared field name, or a ``(left_field,
+        right_field)`` pair; omitted, it defaults to the one field name
+        the two relations share that identifies the right side (e.g.
+        ``("spec_hash", "hash")`` for joins onto ``spec``).  On key
+        collisions the right side's fields are prefixed with
+        ``<relation>.`` so nothing is silently clobbered.
+        """
+        if relation not in self._ledger.relations:
+            raise QueryError(
+                f"unknown relation {relation!r}; "
+                f"one of {sorted(self._ledger.relations)}")
+        return self._extend(("join", relation, on))
+
+    def select(self, *fields: str) -> "Query":
+        """Project rows down to ``fields`` (missing fields become None)."""
+        if not fields:
+            raise QueryError("select needs at least one field name")
+        return self._extend(("select", tuple(fields)))
+
+    # -- execution ----------------------------------------------------------------
+
+    def rows(self) -> list[dict]:
+        """Execute the clause pipeline; a fresh list of fresh dicts."""
+        rows = [dict(row) for row in self._ledger.relations[self.relation]]
+        for op in self._ops:
+            if op[0] == "where":
+                rows = [row for row in rows if op[1](row)]
+            elif op[0] == "join":
+                rows = self._join(rows, op[1], op[2])
+            else:  # select
+                rows = [{name: row.get(name) for name in op[1]}
+                        for row in rows]
+        return rows
+
+    def keys(self) -> list[str]:
+        """The distinct ``key`` values of the result set, sorted.
+
+        The contract ``store gc --policy`` relies on: the policy query
+        must yield rows that still carry a ``key`` field (i.e. come
+        from ``entry`` / ``produced_by`` / ``journal_touched``, not
+        projected away).
+        """
+        keys = set()
+        for row in self.rows():
+            key = row.get("key")
+            if not isinstance(key, str) or not key:
+                raise QueryError(
+                    f"row has no store 'key' field (relation "
+                    f"{self.relation!r}); a key-consuming query must "
+                    f"keep a key column")
+            keys.add(key)
+        return sorted(keys)
+
+    def count(self) -> int:
+        return len(self.rows())
+
+    def _join(self, rows: list[dict], relation: str,
+              on: Union[str, tuple[str, str], None]) -> list[dict]:
+        right_rows = self._ledger.relations[relation]
+        left_field, right_field = self._join_fields(rows, relation, on)
+        by_value: dict[Any, list[dict]] = {}
+        for right in right_rows:
+            value = right.get(right_field)
+            if isinstance(value, (dict, list)):
+                continue  # unhashable join keys never match
+            by_value.setdefault(value, []).append(right)
+        out = []
+        for left in rows:
+            value = left.get(left_field)
+            if isinstance(value, (dict, list)):
+                continue
+            for right in by_value.get(value, ()):
+                merged = dict(left)
+                for name, right_value in right.items():
+                    if name in merged and merged[name] != right_value:
+                        merged[f"{relation}.{name}"] = right_value
+                    else:
+                        merged[name] = right_value
+                out.append(merged)
+        return out
+
+    def _join_fields(self, rows: list[dict], relation: str,
+                     on: Union[str, tuple[str, str], None]
+                     ) -> tuple[str, str]:
+        if isinstance(on, tuple):
+            return on
+        if isinstance(on, str):
+            return on, on
+        # Default: the conventional hash-join onto `spec`, else the one
+        # field name the two sides share.
+        right_fields = set()
+        for right in self._ledger.relations[relation]:
+            right_fields.update(right)
+        if relation == "spec" and any("spec_hash" in row for row in rows):
+            return "spec_hash", "hash"
+        left_fields = set()
+        for row in rows:
+            left_fields.update(row)
+        shared = sorted(left_fields & right_fields)
+        if len(shared) != 1:
+            raise QueryError(
+                f"join with {relation!r} needs an explicit 'on' "
+                f"(shared fields: {shared or 'none'})")
+        return shared[0], shared[0]
+
+
+# -- the textual form -------------------------------------------------------------
+
+_TOKEN_RE = re.compile(r"""
+    \s*(?:
+        (?P<number>-?\d+(?:\.\d+)?)
+      | (?P<string>'(?:[^'\\]|\\.)*'|"(?:[^"\\]|\\.)*")
+      | (?P<name>[A-Za-z_][A-Za-z0-9_.]*)
+      | (?P<op><=|>=|==|!=|=|<|>)
+      | (?P<punct>[(),\[\]])
+    )""", re.VERBOSE)
+
+_KEYWORDS = {"where", "join", "on", "select", "and", "or", "not", "in",
+             "contains", "true", "false", "null", "from"}
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            remainder = text[pos:].strip()
+            if not remainder:
+                break
+            raise QueryError(
+                f"cannot tokenize query at {remainder[:20]!r}")
+        pos = match.end()
+        kind = match.lastgroup
+        value = match.group(kind)
+        if kind == "name" and value.lower() in _KEYWORDS:
+            tokens.append(("keyword", value.lower()))
+        else:
+            tokens.append((kind, value))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser building a :class:`Query`."""
+
+    def __init__(self, ledger, text: str):
+        self.ledger = ledger
+        self.tokens = _tokenize(text)
+        self.pos = 0
+        if not self.tokens:
+            raise QueryError("empty query")
+
+    # -- token plumbing -----------------------------------------------------------
+
+    def _peek(self) -> Optional[tuple[str, str]]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def _next(self) -> tuple[str, str]:
+        token = self._peek()
+        if token is None:
+            raise QueryError("query ended unexpectedly")
+        self.pos += 1
+        return token
+
+    def _accept(self, kind: str, value: Optional[str] = None) -> bool:
+        token = self._peek()
+        if (token is not None and token[0] == kind
+                and (value is None or token[1] == value)):
+            self.pos += 1
+            return True
+        return False
+
+    def _expect_name(self, what: str) -> str:
+        token = self._next()
+        if token[0] != "name":
+            raise QueryError(f"expected {what}, got {token[1]!r}")
+        return token[1]
+
+    # -- grammar ------------------------------------------------------------------
+
+    def parse(self) -> Query:
+        self._accept("keyword", "from")  # optional, reads naturally
+        relation = self._expect_name("a relation name")
+        query = Query(self.ledger, relation)
+        while (token := self._peek()) is not None:
+            if token == ("keyword", "where"):
+                self._next()
+                predicate = self._expression()
+                query = query.where(predicate)
+            elif token == ("keyword", "join"):
+                self._next()
+                relation = self._expect_name("a relation name to join")
+                on: Union[tuple[str, str], None] = None
+                if self._accept("keyword", "on"):
+                    left = self._expect_name("a join field")
+                    right = left
+                    if self._accept("op", "=") or self._accept("op", "=="):
+                        right = self._expect_name("a join field")
+                    on = (left, right)
+                query = query.join(relation, on=on)
+            elif token == ("keyword", "select"):
+                self._next()
+                fields = [self._expect_name("a field name")]
+                while self._accept("punct", ","):
+                    fields.append(self._expect_name("a field name"))
+                query = query.select(*fields)
+            else:
+                raise QueryError(
+                    f"expected 'where', 'join' or 'select', "
+                    f"got {token[1]!r}")
+        return query
+
+    def _expression(self) -> Callable[[dict], bool]:
+        return self._or()
+
+    def _or(self) -> Callable[[dict], bool]:
+        left = self._and()
+        while self._accept("keyword", "or"):
+            right = self._and()
+            left = (lambda a, b: lambda row: a(row) or b(row))(left, right)
+        return left
+
+    def _and(self) -> Callable[[dict], bool]:
+        left = self._not()
+        while self._accept("keyword", "and"):
+            right = self._not()
+            left = (lambda a, b: lambda row: a(row) and b(row))(left, right)
+        return left
+
+    def _not(self) -> Callable[[dict], bool]:
+        if self._accept("keyword", "not"):
+            inner = self._not()
+            return lambda row: not inner(row)
+        if self._accept("punct", "("):
+            inner = self._expression()
+            if not self._accept("punct", ")"):
+                raise QueryError("expected ')'")
+            return inner
+        return self._comparison()
+
+    def _comparison(self) -> Callable[[dict], bool]:
+        left = self._operand()
+        token = self._peek()
+        op: Optional[str] = None
+        if token is not None and token[0] == "op":
+            op = self._next()[1]
+        elif token == ("keyword", "in"):
+            self._next()
+            op = "in"
+        elif token == ("keyword", "not"):
+            # 'not in' — any other token after 'not' is a syntax error
+            self._next()
+            if not self._accept("keyword", "in"):
+                raise QueryError("expected 'in' after 'not'")
+            op = "not in"
+        elif token == ("keyword", "contains"):
+            self._next()
+            op = "contains"
+        if op is None:
+            # A bare field is a truthiness test (e.g. `where active_job`).
+            if not isinstance(left, Field):
+                raise QueryError(
+                    f"a bare literal {left!r} is not a predicate")
+            return lambda row, f=left: bool(f.resolve(row))
+        right = self._operand()
+        return compare(left, op, right)
+
+    def _operand(self) -> Any:
+        token = self._next()
+        kind, value = token
+        if kind == "number":
+            return float(value) if "." in value else int(value)
+        if kind == "string":
+            body = value[1:-1]
+            return re.sub(r"\\(.)", r"\1", body)
+        if kind == "keyword" and value in ("true", "false", "null"):
+            return {"true": True, "false": False, "null": None}[value]
+        if kind == "name":
+            return Field(value)
+        if (kind, value) == ("punct", "["):
+            items = []
+            if not self._accept("punct", "]"):
+                items.append(self._literal_item())
+                while self._accept("punct", ","):
+                    items.append(self._literal_item())
+                if not self._accept("punct", "]"):
+                    raise QueryError("expected ']'")
+            return items
+        raise QueryError(f"expected a field or literal, got {value!r}")
+
+    def _literal_item(self) -> Any:
+        item = self._operand()
+        if isinstance(item, Field):
+            raise QueryError(
+                f"list literals hold literals only, got field "
+                f"{item.name!r}")
+        return item
+
+
+def parse_query(ledger, text: str) -> Query:
+    """Compile the textual form into a ready-to-run :class:`Query`."""
+    if not isinstance(text, str) or not text.strip():
+        raise QueryError("query must be a non-empty string")
+    parser = _Parser(ledger, text)
+    return parser.parse()
+
+
+__all__ = ["Query", "QueryError", "Field", "compare", "parse_query",
+           "OPERATORS"]

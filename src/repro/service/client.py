@@ -89,6 +89,18 @@ class ServiceClient:
             body["tenant"] = tenant
         return self._request("POST", "/v1/jobs", body)
 
+    def query(self, text: str) -> dict:
+        """Run one textual provenance query server-side.
+
+        Mirrors ``POST /v1/query``: the ledger is built from the
+        daemon's store, queue and fleet stats, so answers include work
+        the fleet merged that no local store has seen.  Returns the
+        ``repro.ledger_query/v1`` document (``rows``, ``count``, and
+        the ledger's per-relation ``facts`` counts); a malformed query
+        raises :class:`ServiceError` with ``status == 400``.
+        """
+        return self._request("POST", "/v1/query", {"query": text})
+
     # -- fleet runner protocol ----------------------------------------------------
 
     def claim(self, runner: str, ttl: Optional[float] = None

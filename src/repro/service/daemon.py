@@ -32,6 +32,7 @@ from repro.workloads import registry_info
 HEALTH_SCHEMA = "repro.service_health/v1"
 STATS_SCHEMA = "repro.service_stats/v1"
 JOBS_SCHEMA = "repro.service_jobs/v1"
+QUERY_SCHEMA = "repro.ledger_query/v1"
 
 
 class SubmissionError(ValueError):
@@ -298,6 +299,36 @@ class CampaignService:
             "store_resume": result.get("store_resume",
                                        {"hits": [], "executed": [],
                                         "retried": []}),
+        }
+
+    def query_document(self, body: Mapping[str, Any]) -> dict:
+        """One ``POST /v1/query`` ledger query over the daemon's state.
+
+        The ledger is materialised fresh per request — store entries,
+        queue jobs/leases and the fleet's runner stats — so a query
+        always sees the current provenance, at the cost of a store
+        walk (this is an operator surface, not a hot path).
+        """
+        from repro.ledger import Ledger, QueryError
+
+        if not isinstance(body, Mapping):
+            raise SubmissionError("query body must be a JSON object")
+        text = body.get("query")
+        if not isinstance(text, str) or not text.strip():
+            raise SubmissionError(
+                'query body must carry a non-empty "query" string')
+        ledger = Ledger.from_store(self.store, queue=self.queue,
+                                   fleet=self.fleet.state)
+        try:
+            rows = ledger.run(text)
+        except QueryError as exc:
+            raise SubmissionError(f"bad query: {exc}") from exc
+        return {
+            "schema": QUERY_SCHEMA,
+            "query": text,
+            "count": len(rows),
+            "rows": rows,
+            "facts": ledger.counts(),
         }
 
     def list_jobs(self, status: Optional[str] = None,

@@ -14,6 +14,9 @@ Routes (all under ``/v1``, all JSON in and out)::
     POST   /v1/prune         drop terminal job records (?keep_last=N);
                              results stay in the store — a pruned spec
                              re-queues warm on its next submission
+    POST   /v1/query         {"query": "<ledger expr>"} runs a provenance
+                             query over the daemon's store + queue + fleet
+                             (see :mod:`repro.ledger`); 400 on a bad query
     GET    /v1/healthz       liveness + queue depth
     GET    /v1/stats         queue/worker/fleet/store/per-workload counters
 
@@ -203,6 +206,9 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                                   "removed": removed,
                                   "keep_last": keep_last})
             return
+        if parts == ["v1", "query"]:
+            self._post_query()
+            return
         if parts == ["v1", "claim"]:
             self._post_claim()
             return
@@ -232,6 +238,15 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             return
         self._send_json(200 if coalesced else 201,
                         {**job, "coalesced": coalesced})
+
+    def _post_query(self) -> None:
+        try:
+            body = self._read_body()
+            document = self.service.query_document(body)
+        except SubmissionError as exc:
+            self._send_error_json(400, "BadRequest", str(exc))
+            return
+        self._send_json(200, document)
 
     # -- fleet runner protocol ----------------------------------------------------
 

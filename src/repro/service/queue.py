@@ -49,6 +49,14 @@ import uuid
 from pathlib import Path
 from typing import Any, Iterable, Mapping, Optional
 
+from repro.records import (
+    JOB_SCHEMA,
+    JOB_STATES,
+    TERMINAL_STATES,
+    JobRecord,
+    Lease,
+    LeaseRow,
+)
 from repro.store import (
     campaign_identity,
     content_key,
@@ -60,13 +68,12 @@ from repro.store import (
 QUEUE_SCHEMA = "repro.service_queue/v1"
 #: Version baked into the manifest; bump on incompatible layout changes.
 QUEUE_VERSION = 1
-#: Schema tag of every job record.
-JOB_SCHEMA = "repro.service_job/v1"
 
-#: Every state a job record can be in.
-JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
-#: States a job never leaves on its own (re-submission re-queues them).
-TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
+__all__ = [
+    "QUEUE_SCHEMA", "QUEUE_VERSION", "JOB_SCHEMA", "JOB_STATES",
+    "TERMINAL_STATES", "StaleLease", "JobQueue", "job_key",
+    "job_summary", "active_store_keys",
+]
 
 
 class StaleLease(ValueError):
@@ -169,8 +176,7 @@ class JobQueue:
     def get(self, job_id: str) -> Optional[dict]:
         """The job record, or None (missing *or* unreadable)."""
         document = self._read_json(self._job_path(job_id))
-        if (document is None or document.get("schema") != JOB_SCHEMA
-                or document.get("id") != job_id):
+        if not JobRecord.is_valid(document, job_id):
             return None
         return document
 
@@ -248,31 +254,30 @@ class JobQueue:
             attempts = existing["attempts"] if existing is not None else 0
             generation = (existing.get("generation", 0)
                           if existing is not None else 0)
-            record = {
-                "schema": JOB_SCHEMA,
-                "id": job_id,
-                "kind": "sweep" if sweep_doc else "run",
-                "status": "queued",
-                "priority": int(priority),
-                "seq": self._next_seq(),
-                "spec": spec.to_dict(),
-                "sweep": sweep_doc,
-                "jobs": max(1, int(jobs)),
-                "name": spec.name,
-                "workload": spec.workload,
-                "tenant": tenant,
-                "attempts": attempts,
+            record = JobRecord(
+                id=job_id,
+                kind="sweep" if sweep_doc else "run",
+                status="queued",
+                priority=int(priority),
+                seq=self._next_seq(),
+                spec=spec.to_dict(),
+                sweep=sweep_doc,
+                jobs=max(1, int(jobs)),
+                name=spec.name,
+                workload=spec.workload,
+                tenant=tenant,
+                attempts=attempts,
                 # Never reset across re-queues: the generation fences
                 # zombie uploads from *any* earlier lease of this id.
-                "generation": generation,
-                "lease": None,
-                "submitted_at": time.time(),
-                "started_at": None,
-                "finished_at": None,
-                "worker": None,
-                "error": None,
-                "result": None,
-            }
+                generation=generation,
+                lease=None,
+                submitted_at=time.time(),
+                started_at=None,
+                finished_at=None,
+                worker=None,
+                error=None,
+                result=None,
+            ).to_dict()
             record = self._save(record)
             # Index only after the journal write succeeded: a failed
             # save must not leave a phantom id inflating depth().
@@ -317,12 +322,12 @@ class JobQueue:
             job["attempts"] += 1
             job["generation"] = job.get("generation", 0) + 1
             if ttl is not None:
-                job["lease"] = {
-                    "id": uuid.uuid4().hex,
-                    "runner": worker,
-                    "ttl": float(ttl),
-                    "expires_at": time.time() + float(ttl),
-                }
+                job["lease"] = Lease(
+                    id=uuid.uuid4().hex,
+                    runner=worker,
+                    ttl=float(ttl),
+                    expires_at=time.time() + float(ttl),
+                ).to_dict()
             else:
                 job["lease"] = None
             job = self._save(job)
@@ -527,15 +532,9 @@ class JobQueue:
         now = time.time() if now is None else now
         rows = []
         for job in self.list(status="running"):
-            lease = job.get("lease")
-            if lease is not None and lease["expires_at"] > now:
-                rows.append({
-                    "job_id": job["id"],
-                    "runner": lease["runner"],
-                    "lease_id": lease["id"],
-                    "generation": job.get("generation", 0),
-                    "expires_in": lease["expires_at"] - now,
-                })
+            row = LeaseRow.from_job(job, now)
+            if row is not None:
+                rows.append(row.to_dict())
         return rows
 
     def prune(self, keep_last: int = 0) -> int:
@@ -592,18 +591,7 @@ class JobQueue:
 
 def job_summary(job: dict) -> dict:
     """The listing row for one job record (no spec/sweep bodies)."""
-    summary = {key: job[key] for key in (
-        "id", "kind", "status", "priority", "seq", "name", "workload",
-        "attempts", "submitted_at", "started_at", "finished_at", "worker",
-        "error",
-    )}
-    summary["tenant"] = job.get("tenant")
-    summary["generation"] = job.get("generation", 0)
-    lease = job.get("lease")
-    summary["lease"] = (None if lease is None
-                        else {"runner": lease["runner"],
-                              "expires_at": lease["expires_at"]})
-    return summary
+    return JobRecord.from_dict(job).summary()
 
 
 def active_store_keys(queue: JobQueue) -> frozenset[str]:

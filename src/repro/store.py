@@ -50,6 +50,7 @@ import time
 from pathlib import Path
 from typing import Any, Optional
 
+from repro.records import ENTRY_SCHEMA, StoreEntry
 from repro.serialize import canonical_json, json_safe
 
 #: Schema tag of the store manifest (``store.json`` at the root).
@@ -57,8 +58,6 @@ STORE_SCHEMA = "repro.store/v1"
 #: Version baked into every content address; bump to invalidate every
 #: existing entry when the envelope layout or keying rules change.
 STORE_VERSION = 1
-#: Schema tag of every entry envelope.
-ENTRY_SCHEMA = "repro.store_entry/v1"
 #: Schema tag of a pack's offset/length index document.
 PACK_SCHEMA = "repro.store_pack/v1"
 
@@ -350,12 +349,9 @@ class CampaignStore:
 
     # -- reads --------------------------------------------------------------------
 
-    @staticmethod
-    def _valid_envelope(envelope: Optional[dict], key: str) -> bool:
-        return (envelope is not None
-                and envelope.get("schema") == ENTRY_SCHEMA
-                and envelope.get("key") == key
-                and envelope.get("status") in ("ok", "error"))
+    #: One acceptance test for every generation's read path, owned by
+    #: the typed record layer (:class:`repro.records.StoreEntry`).
+    _valid_envelope = staticmethod(StoreEntry.is_valid)
 
     def get(self, key: str) -> Optional[dict]:
         """The entry envelope for ``key``, or None (miss *or* corrupt).
@@ -434,53 +430,50 @@ class CampaignStore:
     def put_campaign(self, spec, payload: dict) -> str:
         """Record one completed campaign outcome document; returns key."""
         key = self.campaign_key(spec)
-        return self._put(key, {
-            "schema": ENTRY_SCHEMA,
-            "key": key,
-            "kind": "campaign",
-            "status": "ok",
-            "identity": campaign_identity(spec),
-            "spec": spec.to_dict(),
-            "payload": json_safe(payload),
-            "error": None,
-            "attempts": self._attempts_before(key) + 1,
-            "created_at": time.time(),
-        })
+        return self._put(key, StoreEntry(
+            key=key,
+            kind="campaign",
+            status="ok",
+            identity=campaign_identity(spec),
+            spec=spec.to_dict(),
+            payload=json_safe(payload),
+            error=None,
+            attempts=self._attempts_before(key) + 1,
+            created_at=time.time(),
+        ).to_dict())
 
     def put_campaign_failure(self, spec, exc: BaseException) -> str:
         """Record one *failed* campaign point with its error envelope."""
         key = self.campaign_key(spec)
-        return self._put(key, {
-            "schema": ENTRY_SCHEMA,
-            "key": key,
-            "kind": "campaign",
-            "status": "error",
-            "identity": campaign_identity(spec),
-            "spec": spec.to_dict(),
-            "payload": None,
-            "error": {
+        return self._put(key, StoreEntry(
+            key=key,
+            kind="campaign",
+            status="error",
+            identity=campaign_identity(spec),
+            spec=spec.to_dict(),
+            payload=None,
+            error={
                 "type": type(exc).__name__,
                 "message": str(exc),
             },
-            "attempts": self._attempts_before(key) + 1,
-            "created_at": time.time(),
-        })
+            attempts=self._attempts_before(key) + 1,
+            created_at=time.time(),
+        ).to_dict())
 
     def put_stage(self, identity: dict, payload: dict) -> str:
         """Persist one stage artifact document under its identity."""
         key = self.stage_key(identity)
-        return self._put(key, {
-            "schema": ENTRY_SCHEMA,
-            "key": key,
-            "kind": "stage",
-            "status": "ok",
-            "identity": {"store_version": STORE_VERSION, **identity},
-            "spec": None,
-            "payload": json_safe(payload),
-            "error": None,
-            "attempts": self._attempts_before(key) + 1,
-            "created_at": time.time(),
-        })
+        return self._put(key, StoreEntry(
+            key=key,
+            kind="stage",
+            status="ok",
+            identity={"store_version": STORE_VERSION, **identity},
+            spec=None,
+            payload=json_safe(payload),
+            error=None,
+            attempts=self._attempts_before(key) + 1,
+            created_at=time.time(),
+        ).to_dict())
 
     def delete(self, key: str) -> bool:
         """Remove one entry; returns whether it existed.
@@ -582,7 +575,8 @@ class CampaignStore:
         return envelope
 
     def gc(self, failed: bool = False, dry_run: bool = False,
-           protect: frozenset = frozenset()) -> dict:
+           protect: frozenset = frozenset(),
+           drop: frozenset = frozenset()) -> dict:
         """Reclaim temp litter and corrupt entries; optionally failures.
 
         Always removes *stale* atomic-write temp files (older than
@@ -591,11 +585,18 @@ class CampaignStore:
         as valid envelopes; with ``failed=True`` also removes
         ``status="error"`` entries (forcing a resumed sweep to retry
         those points even if their retry budget concerned you) — both
-        loose and packed (packed victims are dropped from their pack's
-        index).  ``protect`` is a set of keys gc must never delete —
-        the CLI threads the keys of every queued/running service job
-        through it (:func:`repro.service.queue.active_store_keys`), so
-        a maintenance pass can't yank an entry out from under a job;
+        loose and packed.  ``drop`` is an explicit set of keys to
+        delete regardless of status — the ledger-driven policy path
+        (``repro store gc --policy '<query>'``), counted separately as
+        ``removed_policy``.  Packed victims are reclaimed by
+        **rewriting their packs**: the surviving entries' bytes are
+        copied into a fresh pack + index pair (the same crash-safe
+        temp+rename discipline as :meth:`pack`) and the old pair is
+        unlinked, so dead bytes don't accumulate on disk.  ``protect``
+        is a set of keys gc must never delete — the CLI threads the
+        keys of every queued/running service job through it
+        (:func:`repro.service.queue.active_store_keys`), so a
+        maintenance pass can't yank an entry out from under a job;
         protected would-be victims are counted and, like everything
         else, listed by ``dry_run``.  ``dry_run=True`` computes the
         same counts (returning would-be victims under ``"candidates"``
@@ -603,8 +604,8 @@ class CampaignStore:
         nothing.  Returns removal/kept counts.
         """
         stats: dict = {"removed_tmp": 0, "removed_corrupt": 0,
-                       "removed_failed": 0, "kept": 0, "protected": 0,
-                       "dry_run": dry_run}
+                       "removed_failed": 0, "removed_policy": 0,
+                       "kept": 0, "protected": 0, "dry_run": dry_run}
         candidates: list[str] = []
         protected_keys: list[str] = []
         stats["candidates"] = candidates
@@ -638,42 +639,123 @@ class CampaignStore:
         loose_keys: set[str] = set()
         for path in self._entry_files():
             envelope = self._read_json(path)
-            if (envelope is None or envelope.get("schema") != ENTRY_SCHEMA
-                    or envelope.get("key") != path.stem
-                    or envelope.get("status") not in ("ok", "error")):
+            if not self._valid_envelope(envelope, path.stem):
                 reclaim(path, "removed_corrupt")
                 continue
             loose_keys.add(path.stem)
-            if failed and envelope["status"] == "error":
+            if path.stem in drop:
+                if path.stem in protect:
+                    spare(path.stem)
+                else:
+                    reclaim(path, "removed_policy")
+            elif failed and envelope["status"] == "error":
                 if path.stem in protect:
                     spare(path.stem)
                 else:
                     reclaim(path, "removed_failed")
             else:
                 stats["kept"] += 1
+        packed_dead: set[str] = set()
+
+        def reclaim_packed(key: str, counter: str) -> None:
+            if dry_run:
+                candidates.append(f"packed:{key}")
+            else:
+                packed_dead.add(key)
+            stats[counter] += 1
+
         for key in sorted(set(self._packs()) - loose_keys):
             envelope = self._read_packed(key)
             if not self._valid_envelope(envelope, key):
-                # Unreadable packed bytes: drop the dead index row.
-                if dry_run:
-                    candidates.append(f"packed:{key}")
+                # Unreadable packed bytes: repack without the dead row.
+                reclaim_packed(key, "removed_corrupt")
+            elif key in drop:
+                if key in protect:
+                    spare(key)
                 else:
-                    self._drop_packed(key)
-                stats["removed_corrupt"] += 1
+                    reclaim_packed(key, "removed_policy")
             elif failed and envelope["status"] == "error":
                 if key in protect:
                     spare(key)
-                elif dry_run:
-                    candidates.append(f"packed:{key}")
-                    stats["removed_failed"] += 1
                 else:
-                    self._drop_packed(key)
-                    stats["removed_failed"] += 1
+                    reclaim_packed(key, "removed_failed")
             else:
                 stats["kept"] += 1
+        if packed_dead:
+            self._rewrite_packs(packed_dead)
         if not dry_run:
             self.corrupt = []
         return stats
+
+    def _rewrite_packs(self, dead: set[str]) -> None:
+        """Rewrite every pack holding a ``dead`` key without it.
+
+        Crash-safe at every step: (1) the *old* index is atomically
+        rewritten without the dead keys first, so from that point on
+        the dead entries are unreachable no matter where a crash lands;
+        (2) the survivors' raw bytes are copied into a fresh pack +
+        index pair (temp + rename + fsync, like :meth:`pack`); (3) only
+        then are the old index and pack unlinked.  A crash between (2)
+        and (3) at worst leaves the survivors reachable through two
+        equivalent packs — reads pick one, ``gc`` converges the next
+        time around.
+        """
+        for idx_path in self._index_paths():
+            document = self._read_json(idx_path)
+            if (document is None or document.get("schema") != PACK_SCHEMA
+                    or not isinstance(document.get("entries"), dict)):
+                continue
+            doomed = dead & set(document["entries"])
+            if not doomed:
+                continue
+            pack_path = self.packs_dir / document.get("pack", "")
+            survivors = {key: span
+                         for key, span in document["entries"].items()
+                         if key not in dead}
+            # Step 1: the dead keys stop being addressable *now*.
+            document["entries"] = survivors
+            self._write_json(idx_path, document)
+            if not survivors or not pack_path.is_file():
+                idx_path.unlink(missing_ok=True)
+                pack_path.unlink(missing_ok=True)
+                continue
+            # Step 2: copy the surviving bytes into a fresh pair.
+            name = hashlib.sha256(
+                "".join(sorted(survivors)).encode("ascii")).hexdigest()[:16]
+            entries: dict[str, list[int]] = {}
+            tmp = self.packs_dir / f".{name}.pack.tmp.{os.getpid()}"
+            try:
+                with open(pack_path, "rb") as source, \
+                        open(tmp, "wb") as stream:
+                    offset = 0
+                    for key in sorted(survivors):
+                        span = survivors[key]
+                        source.seek(int(span[0]))
+                        raw = source.read(int(span[1]))
+                        stream.write(raw)
+                        entries[key] = [offset, len(raw)]
+                        offset += len(raw)
+                    stream.flush()
+                    os.fsync(stream.fileno())
+            except OSError:
+                # Can't read the survivors: keep the (already-pruned)
+                # old pair rather than lose live entries.
+                tmp.unlink(missing_ok=True)
+                continue
+            os.replace(tmp, self.packs_dir / f"{name}.pack")
+            self._write_json(self.packs_dir / f"{name}.idx.json", {
+                "schema": PACK_SCHEMA,
+                "version": STORE_VERSION,
+                "pack": f"{name}.pack",
+                "entries": entries,
+            })
+            # Step 3: retire the old pair (unless the rewrite landed on
+            # the very same name, i.e. an identical survivor set).
+            if idx_path.name != f"{name}.idx.json":
+                idx_path.unlink(missing_ok=True)
+            if pack_path.name != f"{name}.pack":
+                pack_path.unlink(missing_ok=True)
+        self._pack_index = None  # reload lazily
 
     def pack(self, dry_run: bool = False) -> dict:
         """Fold every loose entry into one new pack; returns stats.

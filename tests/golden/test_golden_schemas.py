@@ -55,11 +55,29 @@ def outline(value):
 
 
 @pytest.fixture(scope="module")
-def documents():
+def documents(tmp_path_factory):
     """One serialized document per result kind, from a tiny campaign."""
     outcome = Campaign(SPEC).run()
     sweep = Campaign.sweep(SPEC.replace(levels=(1,)), {"seed": [1, 2]})
     report = outcome.report.to_dict()
+    # The persisted-record kinds reuse the already-computed outcome (no
+    # recompute): one store entry, one claimed job, a one-runner fleet.
+    from repro.ledger import Ledger, export_bundle
+    from repro.service.queue import JobQueue
+    from repro.store import CampaignStore
+
+    root = tmp_path_factory.mktemp("golden-store")
+    store = CampaignStore(root / "store")
+    key = store.put_campaign(SPEC, outcome.to_dict())
+    queue = JobQueue(root / "queue")
+    job, _ = queue.submit(SPEC, sweep={"seed": [1]}, tenant="golden")
+    queue.claim("runner-golden", ttl=60.0)
+    fleet = {"runners": {"runner-golden": {
+        "first_seen": 1.0, "claims": 1, "heartbeats": 0, "uploads": 0,
+        "last_seen": 2.0}}}
+    ledger = Ledger.from_store(store, queue=queue, fleet=fleet)
+    export_bundle(store, SPEC.to_dict(), root / "bundle")
+    manifest = json.loads((root / "bundle" / "manifest.json").read_text())
     return {
         "campaign_spec": SPEC.to_dict(),
         "level1": report["levels"]["level1"],
@@ -69,11 +87,16 @@ def documents():
         "flow_report": report,
         "campaign_outcome": outcome.to_dict(),
         "campaign_sweep": sweep.to_dict(),
+        "store_entry": store.get(key),
+        "job_record": queue.get(job["id"]),
+        "ledger": ledger.to_dict(),
+        "export_manifest": manifest,
     }
 
 
 KINDS = ["campaign_spec", "level1", "level2", "level3", "level4",
-         "flow_report", "campaign_outcome", "campaign_sweep"]
+         "flow_report", "campaign_outcome", "campaign_sweep",
+         "store_entry", "job_record", "ledger", "export_manifest"]
 
 
 @pytest.mark.parametrize("kind", KINDS)

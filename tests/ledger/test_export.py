@@ -1,0 +1,196 @@
+"""Signed export bundles: produce, move, verify, tamper, key handling.
+
+The acceptance contract: a bundle verifies after being moved to a fresh
+directory; *any* byte flipped after signing — an entry body, the
+manifest, the signature file — turns ``ok`` False with a human-readable
+error line, and a re-hashed file cannot hide a modified spec behind a
+fresh sha256 (the content address is recomputed from the envelope).
+"""
+
+import json
+import shutil
+
+import pytest
+
+from repro.api import Campaign, CampaignSpec
+from repro.ledger import (
+    DEFAULT_KEY,
+    ExportError,
+    export_bundle,
+    resolve_key,
+    verify_bundle,
+)
+from repro.store import CampaignStore
+
+SPEC = CampaignSpec(name="export-unit", identities=2, poses=1, size=32,
+                    frames=1, levels=(1,))
+SWEEP = {"frames": [1, 2]}
+
+PAYLOAD = {"schema": "repro.campaign_outcome/v1", "passed": True,
+           "stages": {}}
+
+
+@pytest.fixture
+def store(tmp_path):
+    store = CampaignStore(tmp_path / "store")
+    # Store the exact grid-point specs a sweep would persist (the
+    # point name carries the grid coordinates).
+    for point in Campaign.sweep_specs(SPEC, SWEEP):
+        store.put_campaign(point, PAYLOAD)
+    return store
+
+
+@pytest.fixture
+def bundle(store, tmp_path):
+    export_bundle(store, SPEC.to_dict(), tmp_path / "bundle", sweep=SWEEP)
+    return tmp_path / "bundle"
+
+
+class TestExport:
+    def test_report_and_bundle_layout(self, store, tmp_path):
+        report = export_bundle(store, SPEC.to_dict(), tmp_path / "b",
+                               sweep=SWEEP)
+        assert report["schema"] == "repro.export_report/v1"
+        assert report["name"] == "export-unit" and report["keys"] == 2
+        assert report["signature"].startswith("hmac-sha256:")
+        manifest = json.loads((tmp_path / "b" / "manifest.json")
+                              .read_text())
+        assert manifest["schema"] == "repro.export_manifest/v1"
+        assert manifest["keys"] == sorted(manifest["keys"])
+        assert set(manifest["files"]) == {
+            f"entries/{key}.json" for key in manifest["keys"]}
+        # Revision pins ride along: identity is the store's campaign
+        # identity, engine/workload revisions included.
+        assert "engine_revision" in manifest["identity"]
+
+    def test_missing_point_refused_by_name(self, store, tmp_path):
+        with pytest.raises(ExportError, match=r"frames=3.*missing"):
+            export_bundle(store, SPEC.to_dict(), tmp_path / "b",
+                          sweep={"frames": [1, 2, 3]})
+        assert not (tmp_path / "b" / "manifest.json").exists()
+
+    def test_failed_point_refused(self, store, tmp_path):
+        (doomed,) = Campaign.sweep_specs(SPEC, {"frames": [3]})
+        store.put_campaign_failure(doomed, RuntimeError("boom"))
+        with pytest.raises(ExportError, match="status 'error'"):
+            export_bundle(store, SPEC.to_dict(), tmp_path / "b",
+                          sweep={"frames": [1, 2, 3]})
+
+    def test_invalid_spec_document_refused(self, store, tmp_path):
+        with pytest.raises(ExportError, match="invalid export spec"):
+            export_bundle(store, {"schema": "repro.campaign_spec/v2",
+                                  "workload": "holograms"},
+                          tmp_path / "b")
+
+
+class TestVerify:
+    def test_moved_bundle_verifies(self, bundle, tmp_path):
+        moved = tmp_path / "elsewhere" / "bundle"
+        moved.parent.mkdir()
+        shutil.move(str(bundle), str(moved))
+        report = verify_bundle(moved)
+        assert report["ok"] and report["errors"] == []
+        assert report["schema"] == "repro.export_verify/v1"
+        assert report["keys"] == 2 and report["files_checked"] == 2
+
+    def test_tampered_entry_fails_twice(self, bundle):
+        victim = sorted((bundle / "entries").glob("*.json"))[0]
+        envelope = json.loads(victim.read_text())
+        envelope["identity"]["engine_revision"] = 99
+        victim.write_text(json.dumps(envelope, sort_keys=True))
+        report = verify_bundle(bundle)
+        assert not report["ok"]
+        assert any("sha256 mismatch" in error for error in report["errors"])
+        assert any("content address" in error
+                   for error in report["errors"])
+
+    def test_rehashed_tamper_still_caught_by_content_address(self, bundle):
+        """Fix the manifest hash after tampering: the signature AND the
+        recomputed content address still catch it."""
+        victim = sorted((bundle / "entries").glob("*.json"))[0]
+        envelope = json.loads(victim.read_text())
+        envelope["spec"]["deadline_ms"] = 1.0
+        victim.write_text(json.dumps(envelope, sort_keys=True))
+        manifest_path = bundle / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        import hashlib
+        manifest["files"][f"entries/{victim.stem}.json"] = \
+            hashlib.sha256(victim.read_bytes()).hexdigest()
+        manifest_path.write_text(json.dumps(manifest, sort_keys=True))
+        report = verify_bundle(bundle)
+        assert not report["ok"]
+        assert any("signature mismatch" in error
+                   for error in report["errors"])
+        assert any("content address" in error
+                   for error in report["errors"])
+
+    def test_missing_file_and_key_mismatch_reported(self, bundle):
+        removed = sorted((bundle / "entries").glob("*.json"))[0]
+        removed.unlink()
+        report = verify_bundle(bundle)
+        assert not report["ok"]
+        assert any("missing from the bundle" in error
+                   for error in report["errors"])
+
+    def test_wrong_key_fails_signature_only(self, bundle):
+        report = verify_bundle(bundle, key=b"someone-else")
+        assert not report["ok"]
+        assert report["errors"] == [
+            "manifest signature mismatch (wrong key, or the manifest "
+            "was modified after signing)"]
+
+    def test_custom_key_round_trips(self, store, tmp_path):
+        export_bundle(store, SPEC.to_dict(), tmp_path / "b", sweep=SWEEP,
+                      key=b"team-secret")
+        assert verify_bundle(tmp_path / "b", key=b"team-secret")["ok"]
+        assert not verify_bundle(tmp_path / "b")["ok"]
+
+    def test_not_a_bundle_raises_not_reports(self, tmp_path):
+        with pytest.raises(ExportError, match="no bundle"):
+            verify_bundle(tmp_path / "nowhere")
+        (tmp_path / "bad").mkdir()
+        (tmp_path / "bad" / "manifest.json").write_text("{}")
+        with pytest.raises(ExportError, match="export_manifest"):
+            verify_bundle(tmp_path / "bad")
+
+    def test_path_escape_in_manifest_is_an_error(self, bundle):
+        manifest_path = bundle / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["files"]["../outside.json"] = "0" * 64
+        manifest_path.write_text(json.dumps(manifest, sort_keys=True))
+        report = verify_bundle(bundle)
+        assert any("escapes the bundle" in error
+                   for error in report["errors"])
+
+
+class TestResolveKey:
+    def test_default(self):
+        assert resolve_key() == DEFAULT_KEY
+
+    def test_text_key(self):
+        assert resolve_key("hunter2") == b"hunter2"
+
+    def test_key_file_strips_whitespace(self, tmp_path):
+        key_file = tmp_path / "key"
+        key_file.write_bytes(b"  raw-bytes \n")
+        assert resolve_key(None, str(key_file)) == b"raw-bytes"
+
+    @pytest.mark.parametrize("text,file_text", [
+        ("a", "b"),   # both given
+        ("", None),   # empty --key
+    ])
+    def test_bad_combinations(self, tmp_path, text, file_text):
+        key_file = None
+        if file_text is not None:
+            key_file = tmp_path / "key"
+            key_file.write_text(file_text)
+        with pytest.raises(ExportError):
+            resolve_key(text, str(key_file) if key_file else None)
+
+    def test_missing_or_empty_key_file(self, tmp_path):
+        with pytest.raises(ExportError, match="cannot read"):
+            resolve_key(None, str(tmp_path / "nope"))
+        empty = tmp_path / "empty"
+        empty.write_text(" \n")
+        with pytest.raises(ExportError, match="empty"):
+            resolve_key(None, str(empty))

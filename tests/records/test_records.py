@@ -1,0 +1,159 @@
+"""The typed record layer: byte-compatibility pins for every wire shape.
+
+These tests freeze the *historical* dict shapes the dataclasses in
+:mod:`repro.records` replaced — exact key sets and embedded sub-shapes.
+Everything persisted or served is dumped with ``sort_keys=True``, so a
+matching key set and values IS byte compatibility; a key added, dropped
+or renamed here is a schema change and must bump the record's
+``repro.<kind>/vN`` id.
+"""
+
+import pytest
+
+from repro.api import CampaignSpec
+from repro.records import (
+    ENTRY_SCHEMA,
+    JOB_SCHEMA,
+    JOB_STATES,
+    TERMINAL_STATES,
+    JobRecord,
+    Lease,
+    LeaseRow,
+    RunnerStats,
+    StoreEntry,
+)
+from repro.store import CampaignStore
+
+SPEC = CampaignSpec(name="records-unit", identities=2, poses=1, size=32,
+                    frames=1, levels=(1,))
+PAYLOAD = {"schema": "repro.campaign_outcome/v1", "passed": True,
+           "stages": {}}
+
+#: The envelope key set as journalled since the store's first release.
+ENTRY_KEYS = ["schema", "key", "kind", "status", "identity", "spec",
+              "payload", "error", "attempts", "created_at"]
+
+#: The job-record key set as written since the queue's first release.
+JOB_KEYS = ["schema", "id", "kind", "status", "priority", "seq", "spec",
+            "sweep", "jobs", "name", "workload", "tenant", "attempts",
+            "generation", "lease", "submitted_at", "started_at",
+            "finished_at", "worker", "error", "result"]
+
+#: The ``GET /v1/jobs`` per-job listing row.
+SUMMARY_KEYS = ["id", "kind", "status", "priority", "seq", "name",
+                "workload", "attempts", "submitted_at", "started_at",
+                "finished_at", "worker", "error", "tenant", "generation",
+                "lease"]
+
+
+class TestStoreEntry:
+    def test_envelope_key_set_is_pinned(self, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        key = store.put_campaign(SPEC, PAYLOAD)
+        envelope = store.get(key)
+        assert list(envelope) == sorted(ENTRY_KEYS)  # sort_keys on disk
+        assert envelope["schema"] == ENTRY_SCHEMA
+
+    def test_round_trip_is_identity(self, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        key = store.put_campaign(SPEC, PAYLOAD)
+        envelope = store.get(key)
+        assert StoreEntry.from_dict(envelope).to_dict() == envelope
+
+    def test_is_valid_is_the_read_acceptance_test(self):
+        good = StoreEntry(key="k", kind="campaign", status="ok",
+                          identity={}, spec=None, payload=None, error=None,
+                          attempts=1, created_at=None).to_dict()
+        assert StoreEntry.is_valid(good, "k")
+        assert not StoreEntry.is_valid(good, "other-key")
+        assert not StoreEntry.is_valid(dict(good, status="pending"), "k")
+        assert not StoreEntry.is_valid(dict(good, schema="x/v1"), "k")
+        assert not StoreEntry.is_valid(None, "k")
+        with pytest.raises(ValueError, match=ENTRY_SCHEMA):
+            StoreEntry.from_dict(dict(good, status="pending"))
+
+
+class TestJobRecord:
+    @pytest.fixture
+    def job(self, tmp_path):
+        from repro.service.queue import JobQueue
+
+        queue = JobQueue(tmp_path / "queue")
+        record, coalesced = queue.submit(SPEC, sweep={"frames": [1, 2]},
+                                         priority=3, tenant="ops")
+        assert not coalesced
+        return record
+
+    def test_record_key_set_is_pinned(self, job):
+        assert sorted(job) == sorted(JOB_KEYS)
+        assert job["schema"] == JOB_SCHEMA
+
+    def test_round_trip_is_identity(self, job):
+        assert JobRecord.from_dict(job).to_dict() == job
+
+    def test_summary_shape_is_pinned(self, job):
+        summary = JobRecord.from_dict(job).summary()
+        assert sorted(summary) == sorted(SUMMARY_KEYS)
+        assert summary["lease"] is None
+        # A leased job's summary exposes runner + expiry only.
+        leased = dict(job, lease=Lease(id="L", runner="r-1", ttl=30.0,
+                                       expires_at=99.5).to_dict())
+        summary = JobRecord.from_dict(leased).summary()
+        assert summary["lease"] == {"runner": "r-1", "expires_at": 99.5}
+
+    def test_unknown_status_rejected(self, job):
+        with pytest.raises(ValueError, match="unknown job status"):
+            JobRecord.from_dict(dict(job, status="paused"))
+        assert TERMINAL_STATES < set(JOB_STATES)
+
+
+class TestLease:
+    def test_wire_shape_carries_no_schema_key(self):
+        doc = Lease(id="L", runner="r", ttl=30.0, expires_at=60.0).to_dict()
+        assert sorted(doc) == ["expires_at", "id", "runner", "ttl"]
+        assert Lease.from_dict(doc) == Lease("L", "r", 30.0, 60.0)
+
+    def test_lease_row_from_job(self):
+        job = {"id": "J", "generation": 4,
+               "lease": {"id": "L", "runner": "r", "ttl": 30.0,
+                         "expires_at": 100.0}}
+        row = LeaseRow.from_job(job, now=90.0)
+        assert row.to_dict() == {"job_id": "J", "runner": "r",
+                                 "lease_id": "L", "generation": 4,
+                                 "expires_in": 10.0}
+        # Lapsed or absent leases produce no row.
+        assert LeaseRow.from_job(job, now=100.0) is None
+        assert LeaseRow.from_job({"id": "J", "lease": None}, 0.0) is None
+
+
+class TestRunnerStats:
+    def test_stats_row_shape_is_pinned(self):
+        stats = RunnerStats(first_seen=1.0, last_seen=1.0)
+        assert stats.to_dict() == {"first_seen": 1.0, "claims": 0,
+                                   "heartbeats": 0, "uploads": 0,
+                                   "last_seen": 1.0}
+
+    def test_saw_bumps_one_counter_and_last_seen(self):
+        stats = RunnerStats(first_seen=1.0, last_seen=1.0)
+        stats.saw(2.0, "claims")
+        stats.saw(3.0, "uploads")
+        stats.saw(4.0)             # heartbeat-less sighting: time only
+        stats.saw(5.0, "reboots")  # unknown events never invent fields
+        assert stats.to_dict() == {"first_seen": 1.0, "claims": 1,
+                                   "heartbeats": 0, "uploads": 1,
+                                   "last_seen": 5.0}
+        assert RunnerStats.from_dict(stats.to_dict()) == stats
+
+
+class TestReExports:
+    def test_legacy_import_sites_still_resolve(self):
+        """The constants kept their historical homes as re-exports."""
+        from repro.service.queue import (
+            JOB_SCHEMA as queue_job_schema,
+            TERMINAL_STATES as queue_terminal,
+        )
+        from repro.store import ENTRY_SCHEMA as store_entry_schema
+
+        assert store_entry_schema == ENTRY_SCHEMA
+        assert queue_job_schema == JOB_SCHEMA
+        assert queue_terminal == TERMINAL_STATES

@@ -218,3 +218,43 @@ class TestDaemonLifecycle:
             assert ServiceClient(svc.url).healthz()["ok"]
         # stop() released the lock: a new daemon can take the root.
         CampaignService(root).server.server_close()
+
+
+class TestQueryRoute:
+    """``POST /v1/query``: the provenance ledger over the wire."""
+
+    def test_query_sees_queued_jobs_and_empty_store(self, idle_service):
+        client = ServiceClient(idle_service.url)
+        job = client.submit(FAST.to_dict(), tenant="ops")
+        document = client.query("job where state == 'queued' "
+                                "select id, name, tenant")
+        assert document["schema"] == "repro.ledger_query/v1"
+        assert document["count"] == 1
+        assert document["rows"] == [{"id": job["id"], "name": "http-e2e",
+                                     "tenant": "ops"}]
+        # The facts counters name every relation, even the empty ones.
+        assert document["facts"]["entry"] == 0
+        assert set(document["facts"]) == {
+            "entry", "spec", "produced_by", "journal_touched", "job",
+            "lease", "runner"}
+
+    def test_query_sees_store_entries_after_a_run(self, service, client):
+        job = client.submit(FAST.to_dict())
+        assert client.wait(job["id"], timeout=120)["status"] == "done"
+        document = client.query(
+            "entry where status == 'ok' join spec on spec_hash = hash "
+            "select key, name, engine_rev, params")
+        assert document["count"] >= 1
+        row = next(r for r in document["rows"] if r["name"] == "http-e2e")
+        assert isinstance(row["engine_rev"], int)
+        assert row["params"] == {"block_words": 4}
+
+    def test_bad_query_is_a_400(self, idle_service):
+        client = ServiceClient(idle_service.url)
+        with pytest.raises(ServiceError) as excinfo:
+            client.query("entry where status ==")
+        assert excinfo.value.status == 400
+        assert "bad query" in str(excinfo.value)
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("POST", "/v1/query", {"nope": 1})
+        assert excinfo.value.status == 400

@@ -270,7 +270,8 @@ class TestMaintenance:
         bad.write_text("garbage")
         stats = store.gc()
         assert stats == {"removed_tmp": 2, "removed_corrupt": 1,
-                         "removed_failed": 0, "kept": 1, "protected": 0,
+                         "removed_failed": 0, "removed_policy": 0,
+                         "kept": 1, "protected": 0,
                          "dry_run": False, "candidates": [],
                          "protected_keys": []}
         assert not litter.exists() and not bad.exists()

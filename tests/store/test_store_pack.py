@@ -147,3 +147,94 @@ class TestAdopt:
         failure.pop("payload")
         assert store.adopt(key, failure) is False
         assert store.get(key)["status"] == "ok"
+
+
+class TestPackGC:
+    """gc over packed entries: rewrite the pack, don't just forget keys."""
+
+    def _pack_pair(self, store):
+        idx = list(store.packs_dir.glob("*.idx.json"))
+        packs = list(store.packs_dir.glob("*.pack"))
+        return idx, packs
+
+    def test_failed_gc_rewrites_the_pack_without_dead_bytes(self, store):
+        keys = fill(store, count=3)
+        doomed_spec = SPEC.replace(frames=9)
+        doomed = store.put_campaign_failure(doomed_spec,
+                                            RuntimeError("boom"))
+        store.pack()
+        (old_idx,), (old_pack,) = self._pack_pair(store)
+        stats = store.gc(failed=True)
+        assert stats["removed_failed"] == 1 and stats["kept"] == 3
+        # Old pair retired, fresh pair named after the survivor set.
+        assert not old_idx.exists() and not old_pack.exists()
+        (new_idx,), (new_pack,) = self._pack_pair(store)
+        import hashlib
+        expected = hashlib.sha256(
+            "".join(sorted(keys)).encode("ascii")).hexdigest()[:16]
+        assert new_pack.name == f"{expected}.pack"
+        # The dead entry's bytes are actually gone from disk.
+        assert doomed.encode("ascii") not in new_pack.read_bytes()
+        fresh = CampaignStore(store.root)
+        assert fresh.get(doomed) is None
+        for key in keys:
+            assert fresh.get(key)["status"] == "ok"
+
+    def test_policy_drop_is_counted_separately(self, store):
+        keys = fill(store, count=3)
+        store.pack()
+        stats = store.gc(drop=frozenset(keys[:2]))
+        assert stats["removed_policy"] == 2 and stats["kept"] == 1
+        fresh = CampaignStore(store.root)
+        assert sorted(fresh.keys()) == sorted(keys[2:])
+
+    def test_emptying_a_pack_removes_the_pair(self, store):
+        keys = fill(store, count=2)
+        store.pack()
+        store.gc(drop=frozenset(keys))
+        assert self._pack_pair(store) == ([], [])
+        assert CampaignStore(store.root).keys() == []
+
+    def test_dry_run_names_packed_victims_and_touches_nothing(self, store):
+        keys = fill(store, count=2)
+        store.pack()
+        (idx,), (pack,) = self._pack_pair(store)
+        before = pack.read_bytes()
+        stats = store.gc(drop=frozenset(keys[:1]), dry_run=True)
+        assert stats["removed_policy"] == 1
+        assert f"packed:{keys[0]}" in stats["candidates"]
+        assert pack.read_bytes() == before and idx.exists()
+        assert sorted(CampaignStore(store.root).keys()) == sorted(keys)
+
+    def test_protect_beats_drop_for_packed_entries(self, store):
+        keys = fill(store, count=2)
+        store.pack()
+        stats = store.gc(drop=frozenset(keys),
+                         protect=frozenset(keys[:1]))
+        assert stats["removed_policy"] == 1 and stats["protected"] == 1
+        assert CampaignStore(store.root).keys() == [keys[0]]
+
+    def test_corrupt_packed_bytes_are_repacked_away(self, store):
+        keys = fill(store, count=2)
+        store.pack()
+        (idx,), (pack,) = self._pack_pair(store)
+        index = json.loads(idx.read_text())
+        # Flip the first byte of one packed envelope in place.
+        offset, _length = index["entries"][keys[0]]
+        raw = bytearray(pack.read_bytes())
+        raw[offset] = ord("X")
+        pack.write_bytes(bytes(raw))
+        stats = CampaignStore(store.root).gc()
+        assert stats["removed_corrupt"] == 1 and stats["kept"] == 1
+        fresh = CampaignStore(store.root)
+        assert fresh.keys() == [keys[1]]
+        assert fresh.get(keys[1])["status"] == "ok"
+
+    def test_gc_converges_to_idempotence(self, store):
+        fill(store, count=3)
+        store.pack()
+        first = store.gc(drop=frozenset(store.keys()[:1]))
+        assert first["removed_policy"] == 1
+        again = store.gc()
+        assert again == dict(again, removed_policy=0, removed_failed=0,
+                             removed_corrupt=0, kept=2)

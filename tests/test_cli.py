@@ -56,6 +56,13 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "13 modules" in out
 
+    def test_topology_json(self, capsys):
+        assert main(["topology", *WORKLOAD, "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema"] == "repro.topology/v1"
+        assert document["workload"] == "facerec"
+        assert "13 modules" in document["figure"]
+
     def test_verify(self, capsys):
         assert main(["verify", *WORKLOAD]) == 0
         out = capsys.readouterr().out
@@ -87,6 +94,15 @@ class TestCommands:
         text = out_file.read_text()
         assert "$enddefinitions" in text
         assert "b111 " in text  # isqrt(49) = 7
+
+    def test_wave_json(self, tmp_path, capsys):
+        out_file = tmp_path / "trace.vcd"
+        assert main(["wave", "--cycles", "20", "--out", str(out_file),
+                     "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema"] == "repro.wave/v1"
+        assert document["cycles"] == 20
+        assert document["out"] == str(out_file)
 
     def test_flow_small(self, capsys):
         assert main(["flow", *SIM_WORKLOAD]) == 0
