@@ -260,6 +260,9 @@ class Level3Stage(FlowStage):
             profile=ctx.value("profile"),
             reference_trace=ctx.value("level1").trace,
             engine=ctx.spec.engine,
+            # The batched engine uses the campaign store as its shared
+            # JIT source cache (keyed by program hash + engine revision).
+            store=ctx.store,
         )
 
 

@@ -155,7 +155,8 @@ def run_level3(
     reference_trace: Optional[Trace] = None,
     skip_instrumentation: Optional[set[str]] = None,
     bitstream_model: Optional[BitstreamModel] = None,
-    engine: str = DEFAULT_ENGINE,
+    engine=DEFAULT_ENGINE,
+    store=None,
     **arch_kwargs,
 ) -> Level3Result:
     """Execute the full level-3 activity set.
@@ -164,12 +165,15 @@ def run_level3(
     minimum-download feasible partition of the FPGA tasks for the
     per-frame schedule.
 
-    ``engine`` selects the SWIR execution engine (``"ast"`` or
-    ``"compiled"``) for the dynamic shadow run of the instrumented SW
-    program: the whole frame loop is executed concretely and its FPGA
-    call journal recorded, the run-time complement of SymbC's static
-    consistency proof.  Both engines produce identical results; the
-    selector exists for A/B equivalence testing.
+    ``engine`` selects the SWIR execution engine (a name string, a
+    ``name:key=value`` string or an :class:`~repro.swir.EngineSpec`)
+    for the dynamic shadow run of the instrumented SW program: the whole
+    frame loop is executed concretely and its FPGA call journal
+    recorded, the run-time complement of SymbC's static consistency
+    proof.  All engines produce identical results; the selector exists
+    for A/B equivalence testing and performance.  ``store`` is an
+    optional :class:`repro.store.CampaignStore` the batched engine uses
+    as its shared JIT source cache.
     """
     validate_engine(engine)
     if not partition.fpga_tasks:
@@ -204,7 +208,8 @@ def run_level3(
         sw_program, context_map = _rebuild_with_owner(graph, partition, owner,
                                                       skip_instrumentation)
     symbc = SymbcAnalyzer(sw_program, config_info).check()
-    dynamic = _dynamic_shadow_run(sw_program, context_map, stimuli, engine)
+    dynamic = _dynamic_shadow_run(sw_program, context_map, stimuli, engine,
+                                  store=store)
 
     annotator = annotator or TimingAnnotator(cpu)
     plan = FpgaPlan(
@@ -260,7 +265,7 @@ def stub_task_externals(program: Program) -> dict:
 
 
 def _dynamic_shadow_run(sw_program: Program, context_map: dict[str, str],
-                        stimuli: dict, engine: str):
+                        stimuli: dict, engine, store=None):
     """Run the instrumented frame loop concretely under ``engine``.
 
     Task bodies are stubbed (the architecture model simulates the real
@@ -276,7 +281,8 @@ def _dynamic_shadow_run(sw_program: Program, context_map: dict[str, str],
                     (frames + 1) * (sw_program.statement_count() + 4) * 2)
     executor = create_engine(sw_program, engine=engine,
                              externals=stub_task_externals(sw_program),
-                             context_map=context_map, max_steps=max_steps)
+                             context_map=context_map, max_steps=max_steps,
+                             store=store)
     return executor.run([frames])
 
 

@@ -9,10 +9,12 @@ runner-stats snapshot, and materialises them into flat relations:
 relation                fields
 ======================  ==========================================================
 ``entry``               key, kind, spec_hash, name, workload, engine,
-                        engine_rev, workload_rev, status, attempts, created,
-                        active_job
+                        engine_options, engine_rev, workload_rev, status,
+                        attempts, created, active_job
 ``spec``                hash + every campaign-spec field (name, workload,
-                        params, …)
+                        params, …) + the *resolved* engine name and
+                        engine_options (defaults are resolved, not
+                        omitted, so campaigns filter by engine)
 ``produced_by``         key, engine, engine_rev
 ``journal_touched``     key, spec_hash, fpga_ctx, functions
 ``job``                 id, state, spec_hash, kind, name, workload, tenant,
@@ -56,8 +58,8 @@ LEDGER_SCHEMA = "repro.ledger/v1"
 
 #: The relations every ledger carries, and their fact schema ids.
 FACT_SCHEMAS = {
-    "entry": "repro.ledger_fact.entry/v1",
-    "spec": "repro.ledger_fact.spec/v1",
+    "entry": "repro.ledger_fact.entry/v2",
+    "spec": "repro.ledger_fact.spec/v2",
     "produced_by": "repro.ledger_fact.produced_by/v1",
     "journal_touched": "repro.ledger_fact.journal_touched/v1",
     "job": "repro.ledger_fact.job/v1",
@@ -109,6 +111,12 @@ class Ledger:
                 row = {key: value for key, value in spec_doc.items()
                        if key != "schema"}
                 row["hash"] = spec_hash
+                # Resolve the engine selector (absent = default, which
+                # spec documents omit): without this, default-engine and
+                # explicitly-compiled campaigns were indistinguishable
+                # to ``spec where engine == ...`` queries.
+                row["engine"], row["engine_options"] = \
+                    _resolved_engine(spec_doc.get("engine"))
                 specs[spec_hash] = row
             return spec_hash
 
@@ -158,6 +166,7 @@ class Ledger:
                 "name": name,
                 "workload": identity.get("workload"),
                 "engine": identity.get("engine"),
+                "engine_options": identity.get("engine_options"),
                 "engine_rev": identity.get("engine_revision"),
                 "workload_rev": identity.get("workload_revision"),
                 "status": entry.status,
@@ -237,6 +246,21 @@ class Ledger:
         for name, count in counts.items():
             lines.append(f"  {name:<16} {count}")
         return "\n".join(lines)
+
+
+def _resolved_engine(value: Any) -> tuple[Any, Any]:
+    """(engine name, declared option values) for any selector form.
+
+    Unparseable selectors (foreign or future documents) degrade to the
+    raw value with ``None`` options rather than dropping the row.
+    """
+    from repro.swir.enginespec import EngineSpec
+
+    try:
+        spec = EngineSpec.coerce(value)
+    except (ValueError, TypeError):
+        return value, None
+    return spec.name, spec.options()
 
 
 def _journal_contexts(entry: StoreEntry) -> list[dict]:

@@ -93,11 +93,22 @@ def read_json_document(path: Path) -> Optional[dict]:
     return document if isinstance(document, dict) else None
 
 
-def engine_identity(engine: str) -> dict:
-    """The execution-engine part of an entry's content address."""
-    from repro.swir.engine import ENGINE_REVISION
+def engine_identity(engine) -> dict:
+    """The execution-engine part of an entry's content address.
 
-    return {"engine": engine, "engine_revision": ENGINE_REVISION}
+    Accepts any ``engine=`` selector form (name string, option mapping,
+    :class:`~repro.swir.EngineSpec`) and always records the *resolved*
+    name plus its declared option values, so batched-vs-compiled (and
+    differently-tuned batched) campaigns address — and are ledger-
+    filterable — distinctly.
+    """
+    from repro.swir.engine import ENGINE_REVISION
+    from repro.swir.enginespec import EngineSpec
+
+    spec = EngineSpec.coerce(engine)
+    return {"engine": spec.name,
+            "engine_options": spec.options(),
+            "engine_revision": ENGINE_REVISION}
 
 
 def workload_identity(name: str) -> dict:

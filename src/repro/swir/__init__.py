@@ -11,8 +11,14 @@ is our stand-in for C: a small structured imperative IR with
   memory-initialisation tracking (the Laerte++ substrate);
 - :mod:`~repro.swir.engine` — the compiled execution engine: the same
   programs flattened to flat instruction lists and run by a dispatch
-  loop, several times faster with bit-identical results (select with
-  ``create_engine(program, engine="ast"|"compiled")``);
+  loop, several times faster with bit-identical results;
+- :mod:`~repro.swir.engine_batched` — per-program generated-Python
+  execution with lockstep batch runs and a store-shared JIT source
+  cache, again bit-identical per lane;
+- :mod:`~repro.swir.enginespec` — the engine registry and the frozen
+  :class:`EngineSpec` selector every ``engine=`` entry point accepts
+  (``create_engine(program, engine="batched")`` or
+  ``engine=EngineSpec("batched", batch_width=128)``);
 - :mod:`~repro.swir.instrument` — automatic insertion of reconfiguration
   calls before FPGA function calls (the step the paper performs by hand,
   plus fault injection for the SymbC experiments).
@@ -45,6 +51,20 @@ from repro.swir.engine import (
     compile_program,
     create_engine,
 )
+from repro.swir.engine_batched import (
+    BatchedEngine,
+    LaneOutcome,
+    program_fingerprint,
+)
+from repro.swir.enginespec import (
+    ENGINE_REGISTRY,
+    EngineInfo,
+    EngineOption,
+    EngineSpec,
+    engine_names,
+    get_engine_info,
+    validate_engine,
+)
 from repro.swir.interp import CoverageData, ExecutionResult, Interpreter, InterpError
 from repro.swir.instrument import instrument_reconfiguration, strip_reconfiguration
 
@@ -75,10 +95,20 @@ __all__ = [
     "DEFAULT_ENGINE",
     "ENGINE_REVISION",
     "ENGINES",
+    "ENGINE_REGISTRY",
     "CompiledEngine",
     "CompiledProgram",
     "compile_program",
     "create_engine",
+    "BatchedEngine",
+    "LaneOutcome",
+    "program_fingerprint",
+    "EngineInfo",
+    "EngineOption",
+    "EngineSpec",
+    "engine_names",
+    "get_engine_info",
+    "validate_engine",
     "instrument_reconfiguration",
     "strip_reconfiguration",
 ]

@@ -36,7 +36,7 @@ the default everywhere (:data:`DEFAULT_ENGINE`).
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Any, Callable, Optional
 
 from repro.swir.ast import (
     Assign,
@@ -66,32 +66,23 @@ from repro.swir.interp import (
     _wrap,
 )
 
-#: Engine names accepted by :func:`create_engine` and the ``engine=``
-#: selectors threaded through the flow levels, stages, specs and CLI.
-ENGINES = ("ast", "compiled")
-
-#: The engine used when no selector is given.
-DEFAULT_ENGINE = "compiled"
+# Engine *selection* lives in :mod:`repro.swir.enginespec`: the
+# registry, :class:`EngineSpec` and its validation.  Re-exported here so
+# the historical import sites keep working.
+from repro.swir.enginespec import (  # noqa: F401  (compat re-exports)
+    DEFAULT_ENGINE,
+    ENGINES,
+    EngineSpec,
+    validate_engine,
+)
 
 #: Execution-semantics revision, part of every
-#: :mod:`repro.store` content address.  Bump whenever either engine's
+#: :mod:`repro.store` content address.  Bump whenever any engine's
 #: observable results (values, coverage, journals, step accounting)
 #: change, so stored campaign entries computed under the old semantics
-#: are retired instead of silently reused.
+#: are retired instead of silently reused.  Also keys the batched
+#: engine's cached generated source.
 ENGINE_REVISION = 1
-
-
-def validate_engine(engine: str) -> str:
-    """Return ``engine`` if it names a known engine; raise otherwise.
-
-    The one validation used by every ``engine=`` entry point (specs,
-    flow levels, :func:`create_engine`), so the accepted set and the
-    error message cannot drift between layers.
-    """
-    if engine not in ENGINES:
-        raise ValueError(
-            f"unknown engine {engine!r}; expected one of {list(ENGINES)}")
-    return engine
 
 #: Jump target returned by RETURN instructions: past the end of any
 #: realistically-sized instruction list, so the dispatch loop exits.
@@ -699,20 +690,34 @@ def compile_program(program: Program,
 
 def create_engine(
     program: Program,
-    engine: str = DEFAULT_ENGINE,
+    engine: "str | EngineSpec" = DEFAULT_ENGINE,
     externals: Optional[dict[str, Callable]] = None,
     context_map: Optional[dict[str, str]] = None,
     max_steps: int = 200_000,
+    store: Optional[Any] = None,
 ):
-    """Build the named execution engine for ``program``.
+    """Build the selected execution engine for ``program``.
 
-    ``engine`` is ``"compiled"`` (default, the flat-instruction dispatch
-    loop) or ``"ast"`` (the reference tree-walking interpreter).  Both
-    produce identical :class:`~repro.swir.interp.ExecutionResult`
-    contents; the selector exists so A/B equivalence is testable from
-    every layer of the flow.
+    ``engine`` is an :class:`~repro.swir.enginespec.EngineSpec` or any
+    selector it coerces — ``"compiled"`` (default, the flat-instruction
+    dispatch loop), ``"ast"`` (the reference tree-walking interpreter)
+    or ``"batched"`` (generated-Python JIT with lockstep batch runs).
+    All engines produce identical
+    :class:`~repro.swir.interp.ExecutionResult` contents; the selector
+    exists so A/B equivalence is testable from every layer of the flow.
+
+    ``store`` is an optional :class:`repro.store.CampaignStore` the
+    batched engine uses as its shared JIT source cache; the other
+    engines ignore it.
     """
-    validate_engine(engine)
-    cls = CompiledEngine if engine == "compiled" else Interpreter
+    spec = EngineSpec.coerce(engine)
+    if spec.name == "batched":
+        from repro.swir.engine_batched import BatchedEngine
+
+        return BatchedEngine(program, externals=externals,
+                             context_map=context_map, max_steps=max_steps,
+                             batch_width=spec.batch_width,
+                             jit_cache=spec.jit_cache, store=store)
+    cls = CompiledEngine if spec.name == "compiled" else Interpreter
     return cls(program, externals=externals, context_map=context_map,
                max_steps=max_steps)

@@ -12,7 +12,7 @@ from typing import Optional
 
 from repro.swir.ast import BinOp, Expr, If, Program, UnOp, While
 from repro.swir.engine import CompiledEngine
-from repro.swir.interp import CoverageData, Interpreter, _cond_key
+from repro.swir.interp import CoverageData, Interpreter, InterpError, _cond_key
 
 
 @dataclass(frozen=True)
@@ -108,6 +108,18 @@ def measure_coverage(
     """Run ``vectors`` and accumulate structural coverage."""
     totals = totals or coverage_totals(interpreter.program)
     report = CoverageReport(totals=totals, vectors_used=len(vectors))
+    run_batch = getattr(interpreter, "run_batch", None)
+    if run_batch is not None:
+        # Batched engines stage the whole vector set through the one
+        # compiled program; lanes come back in input order, so the
+        # accumulation (and the first-error behaviour) is unchanged.
+        for outcome in run_batch([list(v) for v in vectors]):
+            if not outcome.ok:
+                raise InterpError(outcome.error)
+            report.hits.merge(outcome.result.coverage)
+            report.uninitialized_reads.extend(
+                outcome.result.uninitialized_reads)
+        return report
     for vector in vectors:
         result = interpreter.run(list(vector))
         report.hits.merge(result.coverage)

@@ -15,7 +15,7 @@ from typing import Optional
 
 from repro.swir.ast import Assign, FpgaCall, Program
 from repro.swir.engine import CompiledEngine
-from repro.swir.interp import Fault, Interpreter
+from repro.swir.interp import Fault, Interpreter, InterpError
 
 
 @dataclass(frozen=True)
@@ -69,6 +69,21 @@ def enumerate_faults(program: Program, bit_width: int = 8) -> list[BitFault]:
     return faults
 
 
+def _golden_outputs(interpreter, vectors: list[list[int]]) -> list:
+    """Fault-free outputs for every vector, batched when the engine
+    supports lockstep execution (lanes return in input order, and a
+    failing vector raises exactly where the serial loop would)."""
+    run_batch = getattr(interpreter, "run_batch", None)
+    if run_batch is None:
+        return [interpreter.run(list(v)).returned for v in vectors]
+    outputs = []
+    for outcome in run_batch([list(v) for v in vectors]):
+        if not outcome.ok:
+            raise InterpError(outcome.error)
+        outputs.append(outcome.result.returned)
+    return outputs
+
+
 def simulate_fault(
     interpreter: Interpreter | CompiledEngine,
     fault: BitFault,
@@ -80,7 +95,7 @@ def simulate_fault(
     ``golden`` caches the fault-free outputs (parallel to ``vectors``).
     """
     if golden is None:
-        golden = [interpreter.run(list(v)).returned for v in vectors]
+        golden = _golden_outputs(interpreter, vectors)
     runtime = fault.to_runtime()
     for vector, expected in zip(vectors, golden):
         try:
@@ -102,7 +117,7 @@ def fault_coverage(
     """Simulate all faults; returns (results, coverage fraction)."""
     if not vectors:
         return [FaultSimResult(f, False) for f in faults], 0.0
-    golden = [interpreter.run(list(v)).returned for v in vectors]
+    golden = _golden_outputs(interpreter, vectors)
     results = [simulate_fault(interpreter, f, vectors, golden) for f in faults]
     detected = sum(1 for r in results if r.detected)
     return results, detected / len(faults) if faults else 1.0

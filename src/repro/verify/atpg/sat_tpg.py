@@ -30,7 +30,7 @@ from repro.swir.ast import (
     Var,
     While,
 )
-from repro.swir.engine import DEFAULT_ENGINE, create_engine
+from repro.swir.engine import DEFAULT_ENGINE, EngineSpec, create_engine
 from repro.verify.cnf import BitVector, Cnf
 from repro.verify.sat import SatResult, SatSolver
 
@@ -61,7 +61,7 @@ class SatTpg:
         max_loop_unroll: int = 8,
         max_expr_nodes: int = 4_000,
         max_conflicts: int = 200_000,
-        engine: str = DEFAULT_ENGINE,
+        engine: "str | EngineSpec" = DEFAULT_ENGINE,
     ):
         if width < 2:
             raise SatTpgError("width must be >= 2")

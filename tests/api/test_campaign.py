@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.api import Campaign, CampaignSpec, SweepPointError, SweepResult
+from repro.swir import EngineSpec
 
 SMALL = CampaignSpec(name="t", identities=2, poses=1, size=32, frames=1)
 
@@ -247,7 +248,9 @@ class TestEngineField:
         assert CampaignSpec.from_dict(json.loads(json.dumps(payload))) == spec
 
     def test_documents_without_engine_default_compiled(self):
-        assert CampaignSpec.from_dict(SMALL.to_dict()).engine == "compiled"
+        spec = CampaignSpec.from_dict(SMALL.to_dict())
+        assert spec.engine == EngineSpec("compiled")
+        assert spec.engine.name == "compiled"
 
     def test_rejects_unknown_engine(self):
         with pytest.raises(ValueError, match="unknown engine"):
@@ -281,7 +284,7 @@ class TestEngineField:
         outcome = Campaign(SMALL.replace(levels=(1, 3))).run()
         level3 = outcome.results["level3"].value
         assert level3.dynamic_checked
-        assert level3.engine == "compiled"
+        assert EngineSpec.coerce(level3.engine).name == "compiled"
         assert level3.dynamic_journal  # FPGA calls actually executed
         assert level3.dynamic_consistency_violations == []
         # The dynamic shadow agrees with SymbC's static certificate.

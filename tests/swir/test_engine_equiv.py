@@ -1,10 +1,13 @@
-"""Differential fuzzing: compiled engine vs tree-walking interpreter.
+"""Differential fuzzing: compiled + batched engines vs the interpreter.
 
-The compiled engine's contract is *bit-identical* execution: for any
-program and any inputs, both engines must agree on the returned value,
-the final environment, every coverage set, the defect reports
-(uninitialised reads, in order), the FPGA journal with its consistency
-violations, and the step count — or raise the same ``InterpError``.
+Every engine's contract is *bit-identical* execution: for any program
+and any inputs, all engines must agree on the returned value, the final
+environment, every coverage set, the defect reports (uninitialised
+reads, in order), the FPGA journal with its consistency violations, and
+the step count — or raise the same ``InterpError``.  The batched engine
+is additionally checked lane-wise: ``run_batch`` outcomes (including
+ragged final blocks and per-lane faults/errors) must equal standalone
+runs.
 
 Three layers of evidence:
 
@@ -50,12 +53,15 @@ VAR_NAMES = ("p0", "p1", "a", "b", "c")
 FPGA_FUNCS = ("F0", "F1")
 CONTEXTS = {"F0": "config1", "F1": "config2"}
 
+#: Every registered engine, differentially pinned against "ast".
+ALL_ENGINES = ("ast", "compiled", "batched")
+
 
 def run_both(program, inputs, externals=None, context_map=None, fault=None,
-             max_steps=FUZZ_MAX_STEPS):
-    """Run under both engines; return the two normalized outcomes."""
+             max_steps=FUZZ_MAX_STEPS, engines=ALL_ENGINES):
+    """Run under every engine; return the normalized outcomes."""
     outcomes = []
-    for engine in ("ast", "compiled"):
+    for engine in engines:
         executor = create_engine(program, engine=engine,
                                  externals=externals,
                                  context_map=context_map,
@@ -71,10 +77,12 @@ def run_both(program, inputs, externals=None, context_map=None, fault=None,
 
 
 def assert_equivalent(program, inputs, **kwargs):
-    ast_out, compiled_out = run_both(program, inputs, **kwargs)
-    assert ast_out == compiled_out, (
-        f"engines diverged on inputs {inputs}:\n ast: {ast_out}\n "
-        f"compiled: {compiled_out}")
+    outcomes = run_both(program, inputs, **kwargs)
+    reference = outcomes[0]
+    for engine, outcome in zip(ALL_ENGINES[1:], outcomes[1:]):
+        assert outcome == reference, (
+            f"engines diverged on inputs {inputs}:\n ast: {reference}\n "
+            f"{engine}: {outcome}")
 
 
 # -- hypothesis strategies ----------------------------------------------------
@@ -217,12 +225,12 @@ def test_level3_sw_programs_agree(workload, broken):
     skip = {sorted(partition.fpga_tasks)[0]} if broken else None
     program, context_map = build_sw_program(session.graph, partition,
                                             skip_instrumentation=skip)
-    ast_out, compiled_out = run_both(program, [3],
-                                     externals=stub_task_externals(program),
-                                     context_map=context_map,
-                                     max_steps=200_000)
-    assert ast_out == compiled_out
-    status, payload = compiled_out
+    outcomes = run_both(program, [3],
+                        externals=stub_task_externals(program),
+                        context_map=context_map,
+                        max_steps=200_000)
+    assert all(outcome == outcomes[0] for outcome in outcomes[1:])
+    status, payload = outcomes[0]
     assert status == "ok"
     violations = payload[7]
     assert bool(violations) == broken
@@ -259,3 +267,223 @@ def test_create_engine_rejects_unknown_names():
         create_engine(program, engine="jit")
     assert isinstance(create_engine(program, "ast"), Interpreter)
     assert isinstance(create_engine(program, "compiled"), CompiledEngine)
+
+
+# -- batched execution: lane semantics + the shared JIT cache -----------------
+
+def _batch_program():
+    """A program exercising calls, loops, FPGA journal and div-by-zero."""
+    body = [
+        Assign("a", Const(0)),
+        Assign("b", Const(0)),
+        While(BinOp("<", Var("b"), Var("p0")),
+              [Assign("a", BinOp("+", Var("a"),
+                                 Call("helper", (Var("b"),)))),
+               Assign("b", BinOp("+", Var("b"), Const(1)))]),
+        Reconfigure("config1"),
+        FpgaCall("F0", (Var("a"),), target="c"),
+        Assign("a", BinOp("/", Var("a"), Var("p1"))),
+        Return(BinOp("^", Var("a"), Var("c"))),
+    ]
+    return Program({
+        "main": Function("main", ("p0", "p1"), body),
+        "helper": Function("helper", ("h",),
+                           [Return(BinOp("*", Var("h"), Const(3)))]),
+    })
+
+
+class TestRunBatch:
+    EXTERNALS = {"F0": lambda a: a + 11}
+
+    def _engines(self, batch_width=64):
+        from repro.swir.engine_batched import BatchedEngine
+
+        program = _batch_program()
+        interp = Interpreter(program, externals=dict(self.EXTERNALS),
+                             context_map=CONTEXTS,
+                             max_steps=FUZZ_MAX_STEPS)
+        batched = BatchedEngine(program, externals=dict(self.EXTERNALS),
+                                context_map=CONTEXTS,
+                                max_steps=FUZZ_MAX_STEPS,
+                                batch_width=batch_width)
+        return interp, batched
+
+    def _reference(self, interp, vector, fault=None):
+        try:
+            return ("ok", interp.run(list(vector), fault=fault).fingerprint())
+        except InterpError as exc:
+            return ("error", str(exc))
+
+    def _outcome(self, outcome):
+        if outcome.ok:
+            return ("ok", outcome.result.fingerprint())
+        return ("error", outcome.error)
+
+    def test_lanes_match_standalone_runs(self):
+        interp, batched = self._engines()
+        vectors = [[n, d] for n in range(-3, 9) for d in (-2, 0, 1, 3)]
+        outcomes = batched.run_batch(vectors)
+        assert len(outcomes) == len(vectors)
+        for vector, outcome in zip(vectors, outcomes):
+            assert self._outcome(outcome) == self._reference(interp, vector)
+        # Division-by-zero lanes really did error without spoiling others.
+        assert any(not o.ok for o in outcomes)
+        assert any(o.ok for o in outcomes)
+
+    def test_ragged_final_block(self):
+        """A batch not divisible by batch_width: every lane still exact."""
+        interp, batched = self._engines(batch_width=4)
+        vectors = [[n, 1] for n in range(11)]  # 11 lanes, width 4: 4+4+3
+        outcomes = batched.run_batch(vectors)
+        assert len(outcomes) == 11
+        for vector, outcome in zip(vectors, outcomes):
+            assert self._outcome(outcome) == self._reference(interp, vector)
+
+    def test_per_lane_faults(self):
+        interp, batched = self._engines()
+        program = batched.program
+        sids = sorted(s.sid for f in program.functions.values()
+                      for s in f.walk() if isinstance(s, Assign))
+        vectors = [[4, 2]] * len(sids)
+        faults = [Fault(sid=sid, bit=0, stuck=1) for sid in sids]
+        outcomes = batched.run_batch(vectors, faults=faults)
+        for vector, fault, outcome in zip(vectors, faults, outcomes):
+            assert self._outcome(outcome) == \
+                self._reference(interp, vector, fault=fault)
+
+    def test_single_fault_broadcasts(self):
+        interp, batched = self._engines()
+        fault = Fault(sid=1, bit=0, stuck=1)
+        outcomes = batched.run_batch([[2, 1], [5, 1]], faults=fault)
+        for vector, outcome in zip([[2, 1], [5, 1]], outcomes):
+            assert self._outcome(outcome) == \
+                self._reference(interp, vector, fault=fault)
+
+    def test_fault_length_mismatch_rejected(self):
+        __, batched = self._engines()
+        with pytest.raises(ValueError, match="faults length"):
+            batched.run_batch([[1, 1], [2, 1]], faults=[None])
+
+    def test_malformed_lane_is_isolated(self):
+        interp, batched = self._engines()
+        outcomes = batched.run_batch([[1, 1], [1], {"p0": 1}, [2, 1]])
+        assert [o.ok for o in outcomes] == [True, False, False, True]
+        assert "expects 2 inputs" in outcomes[1].error
+        assert "missing inputs" in outcomes[2].error
+        assert self._outcome(outcomes[3]) == self._reference(interp, [2, 1])
+
+
+class TestJitCache:
+    def test_second_engine_reuses_in_process_source(self):
+        from repro.swir.engine_batched import BatchedEngine
+
+        program = _batch_program()
+        first = BatchedEngine(program)
+        second = BatchedEngine(program)
+        assert second.jit_source == first.jit_source
+        assert second.jit_source_origin == "memory"
+
+    def test_store_round_trip_is_byte_identical(self, tmp_path):
+        from repro.store import CampaignStore
+        from repro.swir import engine_batched
+        from repro.swir.engine_batched import BatchedEngine
+
+        program = _batch_program()
+        externals = {"F0": lambda a: a + 11}
+        store = CampaignStore(tmp_path / "store")
+        first = BatchedEngine(program, externals=dict(externals),
+                              context_map=CONTEXTS, store=store)
+        assert first.jit_source_origin in ("generated", "memory")
+        # A fresh process has an empty in-memory memo: simulate it.
+        engine_batched._SOURCE_CACHE.clear()
+        second = BatchedEngine(program, externals=dict(externals),
+                               context_map=CONTEXTS, store=store)
+        assert second.jit_source_origin == "store"
+        assert second.jit_source == first.jit_source
+        assert second.run([3, 1]).fingerprint() == \
+            first.run([3, 1]).fingerprint()
+
+    def test_jit_cache_off_skips_store(self, tmp_path):
+        from repro.store import CampaignStore
+        from repro.swir import engine_batched
+        from repro.swir.engine_batched import (
+            BatchedEngine,
+            jit_cache_identity,
+        )
+
+        program = _batch_program()
+        store = CampaignStore(tmp_path / "store")
+        engine_batched._SOURCE_CACHE.clear()
+        BatchedEngine(program, store=store, jit_cache=False)
+        assert store.get_stage(
+            jit_cache_identity(
+                engine_batched.program_fingerprint(program))) is None
+
+    def test_cross_process_store_reuse(self, tmp_path):
+        """A second *process* reuses the persisted source byte-identically.
+
+        Two fresh subprocesses build the same program (fresh sid
+        counters, identical construction order), so its fingerprint —
+        and therefore the store key — match across processes; the second
+        must come back with origin == "store" and the same source bytes.
+        """
+        import subprocess
+        import sys
+
+        script = r"""
+import sys
+from repro.swir.ast import (Assign, BinOp, Call, Const, FpgaCall, Function,
+                            Program, Reconfigure, Return, Var, While)
+from repro.store import CampaignStore
+from repro.swir.engine_batched import BatchedEngine
+
+body = [
+    Assign("a", Const(0)),
+    Assign("b", Const(0)),
+    While(BinOp("<", Var("b"), Var("p0")),
+          [Assign("a", BinOp("+", Var("a"), Call("helper", (Var("b"),)))),
+           Assign("b", BinOp("+", Var("b"), Const(1)))]),
+    Reconfigure("config1"),
+    FpgaCall("F0", (Var("a"),), target="c"),
+    Assign("a", BinOp("/", Var("a"), Var("p1"))),
+    Return(BinOp("^", Var("a"), Var("c"))),
+]
+program = Program({
+    "main": Function("main", ("p0", "p1"), body),
+    "helper": Function("helper", ("h",),
+                       [Return(BinOp("*", Var("h"), Const(3)))]),
+})
+store = CampaignStore(sys.argv[1])
+engine = BatchedEngine(program, externals={"F0": lambda a: a + 11},
+                       context_map={"F0": "config1"}, store=store)
+print(engine.jit_source_origin)
+print(engine.program_key)
+print(engine.run([5, 2]).returned)
+print(len(engine.jit_source))
+"""
+        store_dir = str(tmp_path / "store")
+        outputs = []
+        for __ in range(2):
+            proc = subprocess.run(
+                [sys.executable, "-c", script, store_dir],
+                capture_output=True, text=True, check=True)
+            outputs.append(proc.stdout.split())
+        (origin1, key1, ret1, size1), (origin2, key2, ret2, size2) = outputs
+        assert origin1 == "generated"
+        assert origin2 == "store"
+        assert key1 == key2
+        assert ret1 == ret2
+        assert size1 == size2
+
+
+def test_batched_engine_via_create_engine_spec():
+    from repro.swir import EngineSpec
+    from repro.swir.engine_batched import BatchedEngine
+
+    program = _batch_program()
+    engine = create_engine(
+        program, engine=EngineSpec("batched", batch_width=8))
+    assert isinstance(engine, BatchedEngine)
+    assert engine.batch_width == 8
+    engine = create_engine(program, engine="batched:jit_cache=false")
+    assert engine.jit_cache is False

@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.cli import build_parser, main
+from repro.swir import EngineSpec
 
 WORKLOAD = ["--identities", "2", "--poses", "1", "--size", "32"]
 SIM_WORKLOAD = WORKLOAD + ["--frames", "1"]
@@ -44,10 +45,16 @@ class TestParser:
 
     def test_engine_selector(self):
         parser = build_parser()
-        assert parser.parse_args(["flow"]).engine == "compiled"
-        assert parser.parse_args(["flow", "--engine", "ast"]).engine == "ast"
+        assert parser.parse_args(["flow"]).engine == EngineSpec("compiled")
+        assert parser.parse_args(
+            ["flow", "--engine", "ast"]).engine == EngineSpec("ast")
+        parsed = parser.parse_args(
+            ["flow", "--engine", "batched:batch_width=8"]).engine
+        assert parsed == EngineSpec("batched", batch_width=8)
         with pytest.raises(SystemExit):
             parser.parse_args(["flow", "--engine", "jit"])
+        with pytest.raises(SystemExit):
+            parser.parse_args(["flow", "--engine", "ast:batch_width=8"])
 
 
 class TestCommands:
