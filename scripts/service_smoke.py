@@ -6,7 +6,9 @@ all-four-levels campaign per registered workload through the HTTP
 client, and requires every job to pass.  Then submits every spec a
 second time and requires the duplicates to be answered **entirely from
 the store** — zero points executed, 100% hits — which is the service's
-core economy: a verified spec is never verified twice.
+core economy: a verified spec is never verified twice.  Finally it
+scrapes ``GET /v1/metrics`` and requires a well-formed Prometheus
+exposition whose job counters saw the smoke jobs.
 
 Usage::
 
@@ -19,6 +21,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
 import time
 
@@ -38,6 +41,51 @@ SPECS = {
                                 workload="blockcipher", frames=2,
                                 params={"block_words": 8}),
 }
+
+
+#: One Prometheus text-format sample line:
+#: ``name{label="value",...} 12.5`` (the label block optional).
+SAMPLE_RE = re.compile(
+    r'^[a-zA-Z_:][a-zA-Z0-9_:]*'
+    r'(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"'
+    r'(,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})?'
+    r' -?(\d+(\.\d+)?([eE][+-]?\d+)?|[Ii]nf|NaN)$')
+
+
+def check_metrics(client: ServiceClient, jobs_expected: int) -> list[str]:
+    """Scrape ``/v1/metrics``; return failure lines (empty on success).
+
+    Two requirements: every non-comment line parses as a Prometheus
+    text-format sample, and the job counters actually counted the smoke
+    jobs that just ran (a registry that silently stayed disabled would
+    serve a valid-but-empty document).
+    """
+    failures = []
+    text = client.metrics()
+    samples: dict[str, float] = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        if not SAMPLE_RE.match(line):
+            failures.append(f"metrics: unparseable exposition line: "
+                            f"{line!r}")
+            continue
+        key, _, value = line.rpartition(" ")
+        samples[key] = float(value)
+    done = samples.get('repro_jobs_total{status="done"}', 0)
+    if done < jobs_expected:
+        failures.append(
+            f"metrics: repro_jobs_total{{status=\"done\"}} = {done}, "
+            f"expected >= {jobs_expected}")
+    if samples.get("repro_job_seconds_count", 0) < jobs_expected:
+        failures.append("metrics: repro_job_seconds histogram missed "
+                        "the smoke jobs")
+    if samples.get('repro_queue_submitted_total{coalesced="false"}',
+                   0) < 1:
+        failures.append("metrics: queue submission counter never moved")
+    print(f"[metrics] {len(samples)} samples, "
+          f"jobs done={done:g}")
+    return failures
 
 
 def run_round(client: ServiceClient, label: str,
@@ -107,6 +155,9 @@ def main(argv=None) -> int:
                     f"{workload}: duplicate submission recomputed "
                     f"{resume['executed']} instead of answering from "
                     f"the store")
+
+        print()
+        failures.extend(check_metrics(client, jobs_expected=len(SPECS)))
 
         stats = client.stats()
         print(f"\ncold round: {cold_s:.1f}s; warm round: {warm_s:.1f}s")

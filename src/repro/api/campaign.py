@@ -18,6 +18,7 @@ import time as _time
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Optional, Sequence
 
+from repro import telemetry
 from repro.api.session import Session
 from repro.api.spec import ALL_LEVELS, CampaignSpec
 from repro.api.stages import LEVEL_STAGES, StageResult
@@ -155,7 +156,8 @@ class SweepPointError(RuntimeError):
         )
 
 
-def _run_spec_payload(spec_doc: dict, store_root: Optional[str] = None) -> dict:
+def _run_spec_payload(spec_doc: dict, store_root: Optional[str] = None,
+                      trace: Optional[dict] = None) -> dict:
     """Pool worker: run one spec document, return the outcome payload.
 
     Module-level (picklable by name) on purpose; live outcomes carry
@@ -169,17 +171,24 @@ def _run_spec_payload(spec_doc: dict, store_root: Optional[str] = None) -> dict:
     concurrent workers safe), persists the outcome — or the failure
     envelope — under the spec's content address, and runs its session
     against the store so the level-4 artifact is shared across workers.
+
+    ``trace`` is a :func:`repro.telemetry.handoff` package: adopting it
+    re-parents this worker's ``sweep.point`` span (and everything under
+    it) under the submitting sweep's span, across the process boundary.
     """
+    telemetry.adopt(trace)
     spec = CampaignSpec.from_dict(spec_doc)
     store = None
     if store_root is not None:
         from repro.store import CampaignStore
 
         store = CampaignStore(store_root)
-    try:
-        _outcome, payload = run_recorded(spec, store)
-    except Exception as exc:
-        raise SweepPointError.wrap(spec, exc) from exc
+    with telemetry.span("sweep.point", spec=spec.name,
+                        workload=spec.workload):
+        try:
+            _outcome, payload = run_recorded(spec, store)
+        except Exception as exc:
+            raise SweepPointError.wrap(spec, exc) from exc
     return payload
 
 
@@ -233,16 +242,24 @@ class Campaign:
         results: dict[str, StageResult] = {}
         gates: dict[int, bool] = {}
         accuracy: Optional[float] = None
-        for level, stage_result in session.run_levels(self.spec.levels).items():
-            results[LEVEL_STAGES[level]] = stage_result
-            gates[level] = LEVEL_GATES[level](stage_result.value)
-        if 1 in gates:
-            # The workload's own pass threshold rides on the level-1 gate.
-            accuracy = session.accuracy()
-            gates[1] = gates[1] and accuracy >= session.workload.min_accuracy
-        report = None
-        if set(self.spec.levels) == set(ALL_LEVELS):
-            report = session.report()
+        with telemetry.span("campaign.run", spec=self.spec.name,
+                            workload=self.spec.workload,
+                            levels=",".join(map(str, self.spec.levels))
+                            ) as tspan:
+            for level, stage_result in \
+                    session.run_levels(self.spec.levels).items():
+                results[LEVEL_STAGES[level]] = stage_result
+                gates[level] = LEVEL_GATES[level](stage_result.value)
+            if 1 in gates:
+                # The workload's own pass threshold rides on the level-1
+                # gate.
+                accuracy = session.accuracy()
+                gates[1] = gates[1] and \
+                    accuracy >= session.workload.min_accuracy
+            report = None
+            if set(self.spec.levels) == set(ALL_LEVELS):
+                report = session.report()
+            tspan.set_attr("passed", all(gates.values()))
         return CampaignOutcome(
             spec=self.spec,
             results=results,
@@ -324,31 +341,37 @@ class Campaign:
             raise ValueError("resume=True requires store=")
         specs = cls.sweep_specs(base, grid)
         grid_doc = {k: list(v) for k, v in grid.items()}
-        if store is not None:
-            return cls._sweep_stored(base, grid, grid_doc, specs, jobs,
-                                     store, resume)
-        if jobs > 1:
-            payloads = cls._pool_payloads(specs, jobs)
-            return SweepResult(base=base, grid=grid_doc, outcomes=[],
-                               payloads=payloads, jobs=jobs)
-        outcomes: list[CampaignOutcome] = []
-        session: Optional[Session] = None
-        for spec in specs:
-            # Every grid key is set explicitly at every point, so deriving
-            # from the previous point leaves no stale grid field behind.
-            # Session construction is inside the try: a point whose spec
-            # validates but whose session cannot build (unknown CPU, bad
-            # workload state) is still named by SweepPointError.
-            try:
-                if session is None:
-                    session = Session(spec)
-                else:
-                    session = session.with_spec(
-                        name=spec.name, **{k: getattr(spec, k) for k in grid})
-                outcomes.append(cls(session.spec).run(session=session))
-            except Exception as exc:
-                raise SweepPointError.wrap(spec, exc) from exc
-        return SweepResult(base=base, grid=grid_doc, outcomes=outcomes)
+        with telemetry.span("campaign.sweep", base=base.name,
+                            points=len(specs), jobs=jobs):
+            if store is not None:
+                return cls._sweep_stored(base, grid, grid_doc, specs, jobs,
+                                         store, resume)
+            if jobs > 1:
+                payloads = cls._pool_payloads(specs, jobs)
+                return SweepResult(base=base, grid=grid_doc, outcomes=[],
+                                   payloads=payloads, jobs=jobs)
+            outcomes: list[CampaignOutcome] = []
+            session: Optional[Session] = None
+            for spec in specs:
+                # Every grid key is set explicitly at every point, so
+                # deriving from the previous point leaves no stale grid
+                # field behind.  Session construction is inside the try:
+                # a point whose spec validates but whose session cannot
+                # build (unknown CPU, bad workload state) is still named
+                # by SweepPointError.
+                with telemetry.span("sweep.point", spec=spec.name,
+                                    workload=spec.workload):
+                    try:
+                        if session is None:
+                            session = Session(spec)
+                        else:
+                            session = session.with_spec(
+                                name=spec.name,
+                                **{k: getattr(spec, k) for k in grid})
+                        outcomes.append(cls(session.spec).run(session=session))
+                    except Exception as exc:
+                        raise SweepPointError.wrap(spec, exc) from exc
+            return SweepResult(base=base, grid=grid_doc, outcomes=outcomes)
 
     @staticmethod
     def _pool_payloads(specs: Sequence[CampaignSpec], jobs: int,
@@ -356,10 +379,14 @@ class Campaign:
         """Run ``specs`` over a fork pool, returning outcome payloads."""
         ctx = fork_context()
         processes = max(1, min(jobs, len(specs), _available_cpus()))
+        # Captured once, outside the workers: every pool child adopts
+        # the submitting span (normally the open campaign.sweep) so its
+        # sweep.point spans re-parent under it across the fork.
+        trace = telemetry.handoff()
         with ctx.Pool(processes=processes) as pool:
             return pool.starmap(
                 _run_spec_payload,
-                [(spec.to_dict(), store_root) for spec in specs])
+                [(spec.to_dict(), store_root, trace) for spec in specs])
 
     @classmethod
     def _sweep_stored(cls, base, grid, grid_doc, specs, jobs, store,
@@ -388,24 +415,27 @@ class Campaign:
             session: Optional[Session] = None
             for index in pending:
                 spec = specs[index]
-                try:
-                    if session is None:
-                        session = Session(spec, store=store)
-                    else:
-                        session = session.with_spec(
-                            name=spec.name,
-                            **{k: getattr(spec, k) for k in grid})
-                except Exception as exc:
-                    # A point whose *session* cannot build still records
-                    # its failure envelope, so a resumed sweep retries it.
-                    store.put_campaign_failure(spec, exc)
-                    raise SweepPointError.wrap(spec, exc) from exc
-                try:
-                    _outcome, payload = run_recorded(session.spec, store,
-                                                     session=session)
-                except Exception as exc:
-                    raise SweepPointError.wrap(session.spec, exc) from exc
-                slots[index] = payload
+                with telemetry.span("sweep.point", spec=spec.name,
+                                    workload=spec.workload):
+                    try:
+                        if session is None:
+                            session = Session(spec, store=store)
+                        else:
+                            session = session.with_spec(
+                                name=spec.name,
+                                **{k: getattr(spec, k) for k in grid})
+                    except Exception as exc:
+                        # A point whose *session* cannot build still
+                        # records its failure envelope, so a resumed
+                        # sweep retries it.
+                        store.put_campaign_failure(spec, exc)
+                        raise SweepPointError.wrap(spec, exc) from exc
+                    try:
+                        _outcome, payload = run_recorded(session.spec, store,
+                                                         session=session)
+                    except Exception as exc:
+                        raise SweepPointError.wrap(session.spec, exc) from exc
+                    slots[index] = payload
         if resume:
             # One auditable line per resumed sweep: nightly CI logs show
             # at a glance whether the store was warm or work happened.

@@ -24,6 +24,7 @@ from dataclasses import fields
 from dataclasses import replace as _dataclass_replace
 from typing import Any, Iterable, Optional
 
+from repro import telemetry
 from repro.api.spec import CampaignSpec
 from repro.api.stages import (
     LEVEL_STAGES,
@@ -142,7 +143,11 @@ class Session:
         try:
             for dep in stage.requires:
                 self.run(dep)
-            result = stage.run(self)
+            with telemetry.span(f"stage.{name}", stage=name,
+                                workload=self.workload.name,
+                                spec=self.spec.name) as span:
+                result = stage.run(self)
+                span.set_attr("from_store", result.from_store)
         finally:
             self._resolving.pop()
             if force:

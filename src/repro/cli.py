@@ -21,6 +21,11 @@ the pluggable :mod:`repro.workloads` registry:
   top-level aliases;
 - ``service``   — the campaign service daemon and its HTTP client
   (``start``/``submit``/``status``/``watch``);
+- ``trace``     — inspect recorded telemetry spans (``show`` lists,
+  ``tree`` renders per-trace flamegraph-style trees, ``top``
+  aggregates durations by span name); recording is enabled by
+  ``--trace`` on ``flow``/``campaign``/``service start`` or the
+  ``REPRO_TRACE`` environment variable;
 - ``explore``   — the level-2 architecture exploration sweep;
 - ``verify``    — the level-1 LPV deadlock proof;
 - ``wave``      — synthesise the ROOT module, run it, dump a VCD trace.
@@ -42,11 +47,57 @@ from __future__ import annotations
 
 import argparse
 import json
+import logging
+import os
 import sys
 from typing import Optional
 
 from repro.api import Campaign, CampaignSpec, Session, get_workload, workload_names
 from repro.swir import DEFAULT_ENGINE, EngineSpec, engine_names, get_engine_info
+
+#: Valid ``--log-level`` / ``REPRO_LOG_LEVEL`` spellings.
+_LOG_LEVELS = ("debug", "info", "warning", "error", "critical")
+
+
+def _setup_logging(level_name: str) -> None:
+    """Wire the stdlib root logger once per process.
+
+    ``logging.basicConfig`` is a no-op when the root logger already has
+    handlers, so an embedding application's configuration wins.
+    """
+    level = getattr(logging, str(level_name).upper(), None)
+    if not isinstance(level, int):
+        level = logging.WARNING
+    logging.basicConfig(
+        level=level,
+        format="%(asctime)s %(levelname)-7s %(name)s: %(message)s")
+
+
+def _maybe_enable_tracing(args) -> None:
+    """``--trace`` / ``REPRO_TRACE``: point the span sink at the store.
+
+    Spans land under ``<store>/spans`` (:func:`repro.telemetry.spans_dir_for`)
+    so the ledger's ``span`` relation finds them next to the results they
+    describe.  ``REPRO_TRACE`` may name an explicit sink directory;
+    any other truthy value behaves like ``--trace``.
+    """
+    env = os.environ.get("REPRO_TRACE", "")
+    wanted = getattr(args, "trace", False) or \
+        env.lower() not in ("", "0", "false", "no")
+    if not wanted:
+        return
+    from repro import telemetry
+
+    if env and env.lower() not in ("1", "true", "yes"):
+        telemetry.configure(spans_dir=env, enable_metrics=True)
+        return
+    store_path = getattr(args, "store", None)
+    if not store_path:
+        raise SystemExit("--trace needs --store PATH (spans are written "
+                         "under <store>/spans)")
+    telemetry.configure(
+        spans_dir=telemetry.spans_dir_for(store_path),
+        enable_metrics=True)
 
 
 def _parse_param(text: str) -> tuple[str, object]:
@@ -140,6 +191,7 @@ def _open_store(args):
 
 
 def cmd_flow(args) -> int:
+    _maybe_enable_tracing(args)
     spec = _spec(args, run_pcc=args.pcc, deadline_ms=args.deadline_ms)
     report = Session(spec, store=_open_store(args)).report()
     _emit(args, report.to_dict(), report.describe())
@@ -147,6 +199,7 @@ def cmd_flow(args) -> int:
 
 
 def cmd_campaign(args) -> int:
+    _maybe_enable_tracing(args)
     payload, sweep_grid = _load_submission(args.spec_file)
     spec = CampaignSpec.from_dict(payload)
     store = _open_store(args)
@@ -439,12 +492,15 @@ def cmd_service(args) -> int:
     if args.service_command == "start":
         from repro.service import CampaignService
 
+        trace = args.trace or os.environ.get(
+            "REPRO_TRACE", "").lower() not in ("", "0", "false", "no")
         try:
             service = CampaignService(args.root, host=args.host,
                                       port=args.port, workers=args.workers,
                                       job_timeout=args.job_timeout,
                                       max_depth=args.max_depth,
-                                      tenant_quota=args.tenant_quota)
+                                      tenant_quota=args.tenant_quota,
+                                      trace=trace)
         except (RuntimeError, ValueError, OSError) as exc:
             # Root already served by another daemon, port in use, bad
             # --workers, or a queue/store version mismatch: one clean
@@ -565,7 +621,123 @@ def _stats_table(stats: dict) -> str:
         lines.append(f"  lease {lease['job_id'][:12]} -> "
                      f"{lease['runner']} (gen {lease['generation']}, "
                      f"expires in {lease['expires_in']:.1f}s)")
+    metrics = stats.get("metrics") or {}
+    if metrics:
+        lines.append("metrics")
+        name_width = max(len(name) for name in metrics)
+        for name in sorted(metrics):
+            value = metrics[name]
+            text = f"{value:g}" if isinstance(value, float) else str(value)
+            lines.append(f"  {name:<{name_width}}  {text}")
     return "\n".join(lines)
+
+
+# -- trace inspection --------------------------------------------------------------
+
+
+def _span_line(record: dict, indent: str = "") -> str:
+    """One span record as an operator-facing line."""
+    duration = record.get("duration_ms")
+    timing = f"{duration:9.1f}ms" if isinstance(duration, (int, float)) \
+        else "         ?"
+    status = record.get("status", "?")
+    marker = "" if status == "ok" else f"  [{status.upper()}]"
+    attrs = record.get("attrs") or {}
+    detail = " ".join(f"{key}={attrs[key]}" for key in sorted(attrs))
+    return (f"{timing}  {indent}{record.get('name', '?')}"
+            f"{marker}{('  ' + detail) if detail else ''}")
+
+
+def _render_trace_tree(spans: list[dict]) -> list[str]:
+    """Flamegraph-style indented trees, one per trace id."""
+    by_id = {record["span_id"]: record for record in spans
+             if record.get("span_id")}
+    children: dict[Optional[str], list[dict]] = {}
+    for record in spans:
+        parent = record.get("parent_id")
+        # A parent outside the sink (e.g. a span still open when the
+        # process died) makes its children roots of their trace.
+        key = parent if parent in by_id else None
+        children.setdefault(key, []).append(record)
+    for siblings in children.values():
+        siblings.sort(key=lambda r: r.get("start_unix") or 0.0)
+    lines: list[str] = []
+
+    def walk(record: dict, depth: int) -> None:
+        lines.append(_span_line(record, "  " * depth))
+        for child in children.get(record.get("span_id"), []):
+            walk(child, depth + 1)
+
+    roots = children.get(None, [])
+    for index, root in enumerate(roots):
+        if index:
+            lines.append("")
+        trace_id = root.get("trace_id", "?")
+        lines.append(f"trace {trace_id}")
+        walk(root, 1)
+    return lines
+
+
+def cmd_trace(args) -> int:
+    """``repro trace show|tree|top``: inspect a store's span sink."""
+    from repro.telemetry import read_spans, spans_dir_for
+
+    if not os.path.isdir(args.store):
+        raise SystemExit(f"no store directory at {args.store}")
+    spans = read_spans(spans_dir_for(args.store))
+    if getattr(args, "name", None):
+        spans = [record for record in spans
+                 if record.get("name") == args.name]
+    if getattr(args, "status", None):
+        spans = [record for record in spans
+                 if record.get("status") == args.status]
+    spans.sort(key=lambda r: r.get("start_unix") or 0.0)
+    if args.trace_command == "show":
+        shown = spans[-args.limit:] if args.limit else spans
+        document = {"schema": "repro.trace_show/v1",
+                    "store": str(args.store), "count": len(spans),
+                    "spans": shown}
+        text = "\n".join(_span_line(record) for record in shown) \
+            or "0 spans"
+        _emit(args, document, text)
+        return 0
+    if args.trace_command == "tree":
+        if getattr(args, "trace_id", None):
+            spans = [record for record in spans
+                     if record.get("trace_id") == args.trace_id]
+        document = {"schema": "repro.trace_tree/v1",
+                    "store": str(args.store), "count": len(spans),
+                    "spans": spans}
+        _emit(args, document,
+              "\n".join(_render_trace_tree(spans)) or "0 spans")
+        return 0
+    # top: aggregate by span name, heaviest total first
+    totals: dict[str, dict] = {}
+    for record in spans:
+        duration = record.get("duration_ms")
+        if not isinstance(duration, (int, float)):
+            continue
+        row = totals.setdefault(record["name"], {
+            "name": record["name"], "count": 0, "total_ms": 0.0,
+            "max_ms": 0.0})
+        row["count"] += 1
+        row["total_ms"] += duration
+        row["max_ms"] = max(row["max_ms"], duration)
+    rows = sorted(totals.values(), key=lambda r: -r["total_ms"])
+    if args.limit:
+        rows = rows[:args.limit]
+    for row in rows:
+        row["mean_ms"] = row["total_ms"] / row["count"]
+    document = {"schema": "repro.trace_top/v1", "store": str(args.store),
+                "rows": rows}
+    lines = [f"{'total ms':>10}  {'count':>6}  {'mean ms':>10}  "
+             f"{'max ms':>10}  name"]
+    for row in rows:
+        lines.append(f"{row['total_ms']:10.1f}  {row['count']:6d}  "
+                     f"{row['mean_ms']:10.1f}  {row['max_ms']:10.1f}  "
+                     f"{row['name']}")
+    _emit(args, document, "\n".join(lines) if rows else "0 spans")
+    return 0
 
 
 def cmd_runner(args) -> int:
@@ -734,6 +906,11 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Symbad reconfigurable-SoC design & verification flow",
     )
+    parser.add_argument(
+        "--log-level", default=os.environ.get("REPRO_LOG_LEVEL", "warning"),
+        choices=_LOG_LEVELS, metavar="LEVEL",
+        help="stdlib logging threshold (debug|info|warning|error|critical; "
+             "default: warning, REPRO_LOG_LEVEL env overrides)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_topology = sub.add_parser("topology", help="print the system model")
@@ -750,6 +927,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_flow.add_argument("--store", metavar="PATH",
                         help="campaign store directory: persist/reload the "
                              "expensive level-4 verification across runs")
+    p_flow.add_argument("--trace", action="store_true",
+                        help="record hierarchical spans under "
+                             "<store>/spans (results stay byte-identical; "
+                             "REPRO_TRACE env also enables)")
     _add_json_arg(p_flow)
     p_flow.set_defaults(func=cmd_flow)
 
@@ -770,6 +951,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume", action="store_true",
         help="skip points already completed in --store; retry only "
              "recorded failures")
+    p_campaign.add_argument(
+        "--trace", action="store_true",
+        help="record hierarchical spans under <store>/spans (results "
+             "stay byte-identical; REPRO_TRACE env also enables)")
     _add_json_arg(p_campaign)
     p_campaign.set_defaults(func=cmd_campaign)
 
@@ -855,6 +1040,10 @@ def build_parser() -> argparse.ArgumentParser:
                              metavar="N",
                              help="cap each submitting tenant at N active "
                                   "jobs (default: unbounded)")
+    p_svc_start.add_argument("--trace", action="store_true",
+                             help="record job/campaign spans under "
+                                  "<root>/store/spans (REPRO_TRACE env "
+                                  "also enables)")
     p_svc_start.set_defaults(func=cmd_service)
     p_svc_submit = service_sub.add_parser(
         "submit", help="submit a campaign spec file over HTTP")
@@ -928,6 +1117,33 @@ def build_parser() -> argparse.ArgumentParser:
                                      "after this long")
     p_runner_start.set_defaults(func=cmd_runner)
 
+    p_trace = sub.add_parser(
+        "trace", help="inspect recorded spans (show/tree/top)")
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_trace_show = trace_sub.add_parser(
+        "show", help="flat span listing, oldest first")
+    p_trace_tree = trace_sub.add_parser(
+        "tree", help="per-trace span trees (flamegraph-style indent)")
+    p_trace_top = trace_sub.add_parser(
+        "top", help="aggregate span durations by name, heaviest first")
+    p_trace_tree.add_argument("--trace-id", default=None,
+                              help="render only this trace")
+    for p_sub in (p_trace_show, p_trace_tree, p_trace_top):
+        p_sub.add_argument("--store", metavar="PATH", required=True,
+                           help="campaign store directory whose spans/ "
+                                "sink to read")
+        p_sub.add_argument("--name", default=None,
+                           help="only spans with this exact name")
+        p_sub.add_argument("--status", default=None,
+                           choices=("ok", "error", "aborted"),
+                           help="only spans with this terminal status")
+        p_sub.add_argument("--limit", type=int,
+                           default=50 if p_sub is p_trace_show else 0,
+                           metavar="N",
+                           help="cap the rows shown (0 = unlimited)")
+        _add_json_arg(p_sub)
+        p_sub.set_defaults(func=cmd_trace)
+
     p_workloads = sub.add_parser("workloads",
                                  help="list the registered workloads")
     _add_json_arg(p_workloads)
@@ -967,6 +1183,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[list[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    _setup_logging(args.log_level)
     return args.func(args)
 
 

@@ -31,6 +31,16 @@ from typing import Any, Mapping, Optional
 from repro.records import RunnerStats
 from repro.service.queue import StaleLease
 from repro.service.workers import RESULT_SCHEMA
+from repro.telemetry import metrics as _metrics
+
+# Process-wide twins of the FleetState counters, labelled by event
+# (expired_requeues / warm_completed / zombie_drops / entries_merged
+# and the per-runner claims / heartbeats / uploads).
+_FLEET_EVENTS = _metrics.counter("repro_fleet_events_total",
+                                 "Coordinator fleet events by kind")
+_RUNNER_EVENTS = _metrics.counter("repro_fleet_runner_events_total",
+                                  "Runner protocol events seen by the "
+                                  "coordinator")
 
 #: Bounds on the lease TTL a runner may request.
 MIN_LEASE_TTL = 1.0
@@ -66,10 +76,12 @@ class FleetState:
                 runner = self._runners[name] = RunnerStats(
                     first_seen=now, last_seen=now)
             runner.saw(now, event)
+        _RUNNER_EVENTS.inc(event=event)
 
     def count(self, counter: str, amount: int = 1) -> None:
         with self._lock:
             setattr(self, counter, getattr(self, counter) + amount)
+        _FLEET_EVENTS.inc(amount, event=counter)
 
     def snapshot(self) -> dict:
         with self._lock:

@@ -34,6 +34,7 @@ import socket
 import threading
 from typing import Optional
 
+from repro import telemetry
 from repro.service.client import ServiceClient, ServiceError
 from repro.service.workers import (
     JobCancelled,
@@ -42,8 +43,19 @@ from repro.service.workers import (
     wait_job_child,
 )
 from repro.store import CampaignStore
+from repro.telemetry import metrics as _metrics
 
 logger = logging.getLogger("repro.fleet")
+
+_RUNNER_JOBS = _metrics.counter(
+    "repro_runner_jobs_total",
+    "Jobs this runner finished, by terminal status")
+_RUNNER_LEASES_LOST = _metrics.counter(
+    "repro_runner_leases_lost_total",
+    "Leases this runner lost mid-run or at upload time")
+_RUNNER_ENTRIES = _metrics.counter(
+    "repro_runner_entries_uploaded_total",
+    "Store entries this runner uploaded to its coordinator")
 
 
 def default_runner_name() -> str:
@@ -130,6 +142,7 @@ class RunnerAgent:
             # The coordinator already re-queued this job (heartbeat came
             # back 409); nothing to upload.
             self.leases_lost += 1
+            _RUNNER_LEASES_LOST.inc()
             logger.info("runner %s: lost lease on job %s mid-run",
                         self.name, job["id"][:12])
             return
@@ -150,6 +163,7 @@ class RunnerAgent:
                 # not wasted — it lives in our local store and resumes
                 # warm if we re-claim.
                 self.leases_lost += 1
+                _RUNNER_LEASES_LOST.inc()
                 logger.info("runner %s: upload for job %s dropped as "
                             "stale (%s)", self.name, job["id"][:12], exc)
                 return
@@ -159,16 +173,32 @@ class RunnerAgent:
             self.jobs_done += 1
         else:
             self.jobs_failed += 1
+        if _metrics.enabled:
+            _RUNNER_JOBS.inc(
+                status="done" if verdict == "ok" else "failed")
+            _RUNNER_ENTRIES.inc(len(entries))
 
     def _execute(self, job: dict, cancel: threading.Event
                  ) -> tuple[str, dict]:
-        try:
-            process, conn = spawn_job_child(job, str(self.store.root))
-            return wait_job_child(process, conn, job,
-                                  job_timeout=self.job_timeout,
-                                  cancel=cancel)
-        except WorkerCrash as exc:
-            return "error", {"type": "WorkerCrash", "message": str(exc)}
+        with telemetry.span("runner.job", job=job["id"][:12],
+                            name=job["name"], runner=self.name) as tspan:
+            try:
+                process, conn = spawn_job_child(job, str(self.store.root))
+                verdict, payload = wait_job_child(
+                    process, conn, job, job_timeout=self.job_timeout,
+                    cancel=cancel)
+            except WorkerCrash as exc:
+                # The child died without reporting: the runner-side span
+                # is the durable record, flushed with the aborted status.
+                tspan.set_status("aborted")
+                verdict, payload = "error", {"type": "WorkerCrash",
+                                             "message": str(exc)}
+            except JobCancelled:
+                tspan.set_status("aborted")
+                tspan.set_attr("cancelled", True)
+                raise
+            tspan.set_attr("verdict", verdict)
+        return verdict, payload
 
     # -- heartbeats ---------------------------------------------------------------
 

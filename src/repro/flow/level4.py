@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro import telemetry
 from repro.kernel.scheduler import Simulator
 from repro.rtl.netlist import Netlist
 from repro.rtl.synth import run_fsmd, synthesize
@@ -127,27 +128,36 @@ def run_level4(
     """
     result = Level4Result()
     for name, function in functions.items():
-        netlist = synthesize(function, width=width)
+        with telemetry.span("level4.synthesize", module=name) as tspan:
+            netlist = synthesize(function, width=width)
+            tspan.set_attr("registers", netlist.stats()["registers"])
         module = ModuleRtl(name=name, netlist=netlist)
         # Model checking of the interface properties.
         checker = BoundedModelChecker(netlist)
         properties = default_interface_properties(netlist)
         properties += (extra_properties or {}).get(name, [])
-        for prop in properties:
-            module.property_results.append(
-                checker.check_invariant_clauses(prop, bmc_bound)
-            )
+        with telemetry.span("level4.bmc", module=name,
+                            bound=bmc_bound) as tspan:
+            for prop in properties:
+                module.property_results.append(
+                    checker.check_invariant_clauses(prop, bmc_bound)
+                )
+            tspan.set_attr("properties", len(properties))
+            tspan.set_attr("holds", module.all_properties_hold)
         # Wrapper (interface) synthesis + equivalence against the reference.
-        module.wrapper_checked = _check_wrapper(
-            netlist, reference_impls[name], test_inputs.get(name, [])
-        )
+        with telemetry.span("level4.wrapper", module=name):
+            module.wrapper_checked = _check_wrapper(
+                netlist, reference_impls[name], test_inputs.get(name, [])
+            )
         # PCC on the property plan.
         if run_pcc:
-            pcc = PropertyCoverageChecker(
-                netlist, properties, bound=min(bmc_bound, 6),
-                mutation_limit=pcc_mutation_limit,
-            )
-            module.pcc = pcc.run()
+            with telemetry.span("level4.pcc", module=name) as tspan:
+                pcc = PropertyCoverageChecker(
+                    netlist, properties, bound=min(bmc_bound, 6),
+                    mutation_limit=pcc_mutation_limit,
+                )
+                module.pcc = pcc.run()
+                tspan.set_attr("coverage", module.pcc.coverage)
         result.modules[name] = module
     return result
 

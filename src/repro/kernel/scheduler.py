@@ -37,6 +37,16 @@ from typing import Callable, Generator, Optional
 from repro.kernel.events import Event
 from repro.kernel.process import Process, ProcessState
 from repro.kernel.simtime import format_time
+from repro.telemetry import metrics as _metrics
+
+# Published once per run() call, after the loop finishes — never from
+# inside the delta loop, which is the hottest path in the repo.
+_RUNS = _metrics.counter("repro_scheduler_runs_total",
+                         "Completed Simulator.run() calls")
+_ACTIVATIONS = _metrics.counter("repro_scheduler_activations_total",
+                                "Process activations across all runs")
+_DELTAS = _metrics.counter("repro_scheduler_deltas_total",
+                           "Delta cycles across all runs")
 
 
 class SimulationError(RuntimeError):
@@ -158,6 +168,8 @@ class Simulator:
         self._running = True
         self._stop_requested = False
         ready_state = ProcessState.READY
+        activations_before = self.activation_count
+        deltas_before = self.delta_count
         try:
             while not self._stop_requested:
                 deltas_here = 0
@@ -217,6 +229,10 @@ class Simulator:
                         action()
         finally:
             self._running = False
+            if _metrics.enabled:
+                _RUNS.inc()
+                _ACTIVATIONS.inc(self.activation_count - activations_before)
+                _DELTAS.inc(self.delta_count - deltas_before)
         if self._failure is not None:
             proc, exc = self._failure
             raise SimulationError(

@@ -21,6 +21,8 @@ relation                fields
                         priority, seq, attempts, generation
 ``lease``               job, runner, lease_id, generation
 ``runner``              name, claims, heartbeats, uploads, first_seen, last_seen
+``span``                trace, span, parent, name, start, duration_ms,
+                        status, pid, attrs
 ======================  ==========================================================
 
 ``entry.active_job`` is precomputed from the queue's queued/running
@@ -43,6 +45,14 @@ document inside each ok campaign payload (``stages.level3.value
 serialized (it is engine-dependent), but the FPGA context configurations
 it drove are, and those are exactly the "which contexts did this spec's
 run ever touch" facts.
+
+``span`` rows come from the telemetry sink sidecar files under
+``<store root>/spans/`` (:func:`repro.telemetry.read_spans`) — traced
+runs become queryable the moment their spans flush, loose or packed
+store alike (packing never touches sidecars)::
+
+    span where name == 'level4.pcc' and duration_ms > 1000
+        order by duration_ms
 """
 
 from __future__ import annotations
@@ -53,8 +63,9 @@ from repro.ledger.query import Query, parse_query
 from repro.records import JobRecord, StoreEntry
 from repro.serialize import canonical_json
 
-#: Schema tag of the whole materialised ledger document.
-LEDGER_SCHEMA = "repro.ledger/v1"
+#: Schema tag of the whole materialised ledger document (v2: the
+#: telemetry ``span`` relation joined the table).
+LEDGER_SCHEMA = "repro.ledger/v2"
 
 #: The relations every ledger carries, and their fact schema ids.
 FACT_SCHEMAS = {
@@ -65,6 +76,7 @@ FACT_SCHEMAS = {
     "job": "repro.ledger_fact.job/v1",
     "lease": "repro.ledger_fact.lease/v1",
     "runner": "repro.ledger_fact.runner/v1",
+    "span": "repro.ledger_fact.span/v1",
 }
 
 
@@ -187,6 +199,21 @@ class Ledger:
                     "fpga_ctx": context.get("name"),
                     "functions": sorted(context.get("functions") or []),
                 })
+
+        from repro.telemetry import read_spans, spans_dir_for
+
+        for record in read_spans(spans_dir_for(store.root)):
+            relations["span"].append({
+                "trace": record.get("trace_id"),
+                "span": record.get("span_id"),
+                "parent": record.get("parent_id"),
+                "name": record.get("name"),
+                "start": record.get("start_unix"),
+                "duration_ms": record.get("duration_ms"),
+                "status": record.get("status"),
+                "pid": record.get("pid"),
+                "attrs": dict(record.get("attrs") or {}),
+            })
 
         if fleet is not None:
             snapshot = (fleet.snapshot() if hasattr(fleet, "snapshot")

@@ -22,6 +22,7 @@ in order, like a tiny pipeline)::
     clause :=  'where' expr
             |  'join' relation ['on' field ['=' field]]
             |  'select' field (',' field)*
+            |  'order' 'by' field ['asc' | 'desc']
     expr   :=  comparisons composed with 'and' / 'or' / 'not' / parens
     cmp    :=  operand (op operand)?          # a bare field is truthy
     op     :=  == | = | != | < | <= | > | >= | in | not in | contains
@@ -36,11 +37,17 @@ crash on the rows it was going to filter out anyway.
 
 In the spirit of CrocoPat's relational queries over program structure,
 the language is deliberately tiny: relations in, relations out, no
-aggregation — counting and sorting belong to the caller.
+aggregation — counting belongs to the caller.  ``order by`` exists
+because span rows (``span where duration_ms > 1000 order by
+duration_ms desc``) are useless unsorted; like the comparison
+operators it is TypeError-safe — rows sort by a (missing < number <
+string < other) type ladder instead of crashing on heterogeneous
+facts.
 """
 
 from __future__ import annotations
 
+import json
 import re
 from typing import Any, Callable, Optional, Union
 
@@ -62,6 +69,19 @@ def _cmp(operator: Callable[[Any, Any], bool]) -> Callable[[Any, Any], bool]:
             return False
 
     return apply
+
+
+def _order_key(value: Any) -> tuple:
+    """A total-order sort key over heterogeneous fact values."""
+    if value is None:
+        return (0, 0)
+    if isinstance(value, bool):
+        return (1, int(value))
+    if isinstance(value, (int, float)):
+        return (1, value)
+    if isinstance(value, str):
+        return (2, value)
+    return (3, json.dumps(value, sort_keys=True, default=str))
 
 
 def _contains(left: Any, right: Any) -> bool:
@@ -208,6 +228,17 @@ class Query:
             raise QueryError("select needs at least one field name")
         return self._extend(("select", tuple(fields)))
 
+    def order_by(self, field: str, desc: bool = False) -> "Query":
+        """Sort the current rows by one field.
+
+        Ascending by default; TypeError-safe like the comparison
+        operators — mixed-type and missing values rank as
+        missing < numbers < strings < everything else, never raise.
+        """
+        if not isinstance(field, str) or not field:
+            raise QueryError("order by needs a field name")
+        return self._extend(("order", field, bool(desc)))
+
     # -- execution ----------------------------------------------------------------
 
     def rows(self) -> list[dict]:
@@ -218,6 +249,10 @@ class Query:
                 rows = [row for row in rows if op[1](row)]
             elif op[0] == "join":
                 rows = self._join(rows, op[1], op[2])
+            elif op[0] == "order":
+                field, desc = op[1], op[2]
+                rows.sort(key=lambda row: _order_key(row.get(field)),
+                          reverse=desc)
             else:  # select
                 rows = [{name: row.get(name) for name in op[1]}
                         for row in rows]
@@ -307,7 +342,8 @@ _TOKEN_RE = re.compile(r"""
     )""", re.VERBOSE)
 
 _KEYWORDS = {"where", "join", "on", "select", "and", "or", "not", "in",
-             "contains", "true", "false", "null", "from"}
+             "contains", "true", "false", "null", "from", "order", "by",
+             "asc", "desc"}
 
 
 def _tokenize(text: str) -> list[tuple[str, str]]:
@@ -395,9 +431,20 @@ class _Parser:
                 while self._accept("punct", ","):
                     fields.append(self._expect_name("a field name"))
                 query = query.select(*fields)
+            elif token == ("keyword", "order"):
+                self._next()
+                if not self._accept("keyword", "by"):
+                    raise QueryError("expected 'by' after 'order'")
+                field = self._expect_name("a field name to order by")
+                desc = False
+                if self._accept("keyword", "desc"):
+                    desc = True
+                else:
+                    self._accept("keyword", "asc")
+                query = query.order_by(field, desc=desc)
             else:
                 raise QueryError(
-                    f"expected 'where', 'join' or 'select', "
+                    f"expected 'where', 'join', 'select' or 'order by', "
                     f"got {token[1]!r}")
         return query
 

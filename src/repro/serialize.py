@@ -60,11 +60,16 @@ def json_safe(value: Any) -> Any:
 #: :class:`repro.store.CampaignStore`; ``created_at`` stamps store entry
 #: envelopes; ``submitted_at``/``started_at``/``finished_at``/``worker``/
 #: ``uptime_seconds`` are the :mod:`repro.service` job-queue and stats
-#: timing fields.  None of them may enter result equality.
+#: timing fields; ``wait_polls``/``wait_seconds`` are the client-side
+#: poll bookkeeping :meth:`repro.service.client.ServiceClient.wait`
+#: stamps onto the record it returns.  None of them may enter result
+#: equality — which is also what keeps telemetry byte-invisible: span
+#: and metric data ride only in sidecar files and keys listed here.
 VOLATILE_KEYS = frozenset({"wall_seconds", "sim_speed_ratio", "jobs",
                            "from_cache", "from_store", "store_resume",
                            "created_at", "submitted_at", "started_at",
-                           "finished_at", "worker", "uptime_seconds"})
+                           "finished_at", "worker", "uptime_seconds",
+                           "wait_polls", "wait_seconds"})
 
 
 def canonical_document(document: Any,

@@ -66,6 +66,19 @@ class ServiceClient:
     def stats(self) -> dict:
         return self._request("GET", "/v1/stats")
 
+    def metrics(self) -> str:
+        """``GET /v1/metrics``: the Prometheus text exposition document."""
+        request = urllib.request.Request(f"{self.base_url}/v1/metrics")
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            raise ServiceError(exc.code, "HTTPError", str(exc)) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(0, "Unreachable",
+                               f"{self.base_url}: {exc.reason}") from None
+
     def submit(self, spec: Mapping[str, Any],
                sweep: Optional[Mapping[str, list]] = None,
                priority: int = 0, jobs: int = 1,
@@ -173,9 +186,16 @@ class ServiceClient:
         when the store was gc'd underneath a done job, or when a
         concurrent resubmission re-queued the job between the status
         poll and the payload fetch.
+
+        The returned record carries ``wait_polls`` (status probes made)
+        and ``wait_seconds`` (total time this call blocked) — both in
+        :data:`~repro.serialize.VOLATILE_KEYS`, so they never enter
+        result equality.
         """
-        deadline = time.monotonic() + timeout
+        wait_start = time.monotonic()
+        deadline = wait_start + timeout
         job = self.get(job_id, payload=False)
+        polls = 1
         # Poll with the record's full id: a prefix would pay the
         # server's whole-directory resolve scan on every iteration.
         job_id = job["id"]
@@ -192,8 +212,10 @@ class ServiceClient:
             time.sleep(sleep_for)
             pause = min(pause * 1.6, max_interval)
             job = self.get(job_id, payload=False)
+            polls += 1
         if payload:
             final = self.get(job_id, payload=True)
+            polls += 1
             # A concurrent re-submission of the same content-addressed
             # spec can re-queue the job between the two GETs; honour the
             # terminal record we already observed rather than returning
@@ -201,4 +223,6 @@ class ServiceClient:
             if final["status"] in TERMINAL_STATES:
                 job = final
             job.setdefault("payload", None)
+        job["wait_polls"] = polls
+        job["wait_seconds"] = time.monotonic() - wait_start
         return job

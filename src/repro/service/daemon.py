@@ -21,15 +21,18 @@ import time
 from pathlib import Path
 from typing import Any, Mapping, Optional
 
+from repro import telemetry
 from repro.api.campaign import Campaign
 from repro.api.spec import CampaignSpec
 from repro.service.queue import JobQueue, job_key, job_summary
 from repro.service.workers import WorkerPool
 from repro.store import CampaignStore
+from repro.telemetry import metrics
 from repro.workloads import registry_info
 
 #: Schema tags of the service's own HTTP documents.
-HEALTH_SCHEMA = "repro.service_health/v1"
+#: health v2: adds daemon uptime and the coordinator's live-lease count.
+HEALTH_SCHEMA = "repro.service_health/v2"
 STATS_SCHEMA = "repro.service_stats/v1"
 JOBS_SCHEMA = "repro.service_jobs/v1"
 QUERY_SCHEMA = "repro.ledger_query/v1"
@@ -61,7 +64,8 @@ class CampaignService:
                  job_timeout: Optional[float] = None,
                  max_depth: Optional[int] = None,
                  tenant_quota: Optional[int] = None,
-                 lease_sweep_interval: float = 1.0):
+                 lease_sweep_interval: float = 1.0,
+                 trace: bool = False):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         # One daemon per root: an advisory flock held for the daemon's
@@ -88,6 +92,15 @@ class CampaignService:
             raise ValueError("tenant_quota must be >= 1 (or None)")
         if lease_sweep_interval <= 0:
             raise ValueError("lease_sweep_interval must be > 0 seconds")
+        # The daemon is the one process with a standing scrape surface
+        # (GET /v1/metrics), so the process-wide registry is always on
+        # here; metric data never enters result documents, so this
+        # cannot perturb outcomes.  Tracing stays opt-in: with
+        # ``trace=True`` spans land under the store root, where ledger
+        # queries (POST /v1/query, ``repro trace``) pick them up.
+        metrics.enable()
+        if trace:
+            telemetry.configure(telemetry.spans_dir_for(self.root / "store"))
         self.store = CampaignStore(self.root / "store")
         self.queue = JobQueue(self.root / "queue")
         #: jobs re-queued on startup after an unclean shutdown (running
@@ -346,7 +359,13 @@ class CampaignService:
             "ok": True,
             "workers": self.pool.workers if self.pool is not None else 0,
             "queue_depth": self.queue.depth(),
+            "uptime_seconds": time.time() - self.started_at,
+            "active_leases": len(self.queue.live_leases()),
         }
+
+    def metrics_text(self) -> str:
+        """The registry in Prometheus text format (``GET /v1/metrics``)."""
+        return metrics.render()
 
     def stats(self) -> dict:
         """The operator dashboard document (``GET /v1/stats``)."""
@@ -381,4 +400,7 @@ class CampaignService:
             "workloads": workloads,
             "recovered": list(self.recovered),
             "uptime_seconds": time.time() - self.started_at,
+            # The process-wide counter/gauge totals, flattened: the
+            # JSON twin of GET /v1/metrics for the stats table.
+            "metrics": metrics.snapshot(),
         }

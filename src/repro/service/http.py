@@ -17,8 +17,10 @@ Routes (all under ``/v1``, all JSON in and out)::
     POST   /v1/query         {"query": "<ledger expr>"} runs a provenance
                              query over the daemon's store + queue + fleet
                              (see :mod:`repro.ledger`); 400 on a bad query
-    GET    /v1/healthz       liveness + queue depth
+    GET    /v1/healthz       liveness, queue depth, uptime, live leases
     GET    /v1/stats         queue/worker/fleet/store/per-workload counters
+    GET    /v1/metrics       the telemetry registry in Prometheus text
+                             exposition format (the one non-JSON route)
 
 Fleet runner protocol (see :mod:`repro.fleet`)::
 
@@ -84,6 +86,14 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(body)))
         for name, value in (headers or {}).items():
             self.send_header(name, str(value))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, code: int, text: str, content_type: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
 
@@ -162,6 +172,10 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         try:
             if parts == ["v1", "healthz"]:
                 self._send_json(200, self.service.health())
+            elif parts == ["v1", "metrics"]:
+                # Prometheus text exposition format, not JSON.
+                self._send_text(200, self.service.metrics_text(),
+                                "text/plain; version=0.0.4; charset=utf-8")
             elif parts == ["v1", "stats"]:
                 self._send_json(200, self.service.stats())
             elif parts == ["v1", "jobs"]:

@@ -63,6 +63,17 @@ from repro.store import (
     read_json_document,
     write_json_atomic,
 )
+from repro.telemetry import metrics as _metrics
+
+_SUBMITTED = _metrics.counter("repro_queue_submitted_total",
+                              "Jobs enqueued (coalesced duplicates "
+                              "labelled separately)")
+_CLAIMED = _metrics.counter("repro_queue_claimed_total", "Jobs claimed")
+_FINISHED = _metrics.counter("repro_queue_finished_total",
+                             "Jobs reaching a terminal state, by status")
+_EXPIRED = _metrics.counter("repro_queue_expired_leases_total",
+                            "Lapsed leases re-queued")
+_DEPTH = _metrics.gauge("repro_queue_depth", "Jobs currently queued")
 
 #: Schema tag of the queue manifest (``queue.json`` at the root).
 QUEUE_SCHEMA = "repro.service_queue/v1"
@@ -250,6 +261,7 @@ class JobQueue:
                 if priority > existing["priority"]:
                     existing["priority"] = priority
                     self._save(existing)
+                _SUBMITTED.inc(coalesced="true")
                 return existing, True
             attempts = existing["attempts"] if existing is not None else 0
             generation = (existing.get("generation", 0)
@@ -282,6 +294,8 @@ class JobQueue:
             # Index only after the journal write succeeded: a failed
             # save must not leave a phantom id inflating depth().
             self._queued.add(job_id)
+            _SUBMITTED.inc(coalesced="false")
+            _DEPTH.set(len(self._queued))
             return record, False
 
     # -- worker-side transitions --------------------------------------------------
@@ -332,6 +346,8 @@ class JobQueue:
                 job["lease"] = None
             job = self._save(job)
             self._queued.discard(job["id"])  # only once journaled
+            _CLAIMED.inc()
+            _DEPTH.set(len(self._queued))
             return job
 
     def heartbeat(self, job_id: str, lease_id: str,
@@ -421,6 +437,9 @@ class JobQueue:
                 if lease is not None and lease["expires_at"] <= now:
                     self._requeue_locked(job)
                     requeued.append(job["id"])
+            if requeued:
+                _EXPIRED.inc(len(requeued))
+                _DEPTH.set(len(self._queued))
         return requeued
 
     def _finish(self, job_id: str, status: str, *, result=None,
@@ -440,6 +459,7 @@ class JobQueue:
             job["error"] = error
             job["lease"] = None
             job["finished_at"] = time.time()
+            _FINISHED.inc(status=status)
             return self._save(job)
 
     def complete(self, job_id: str, result: dict,

@@ -23,6 +23,7 @@ import threading
 import time
 from typing import Optional
 
+from repro import telemetry
 from repro.api.campaign import (
     Campaign,
     _available_cpus,
@@ -31,8 +32,14 @@ from repro.api.campaign import (
 )
 from repro.api.spec import CampaignSpec
 from repro.store import CampaignStore
+from repro.telemetry import metrics as _metrics
 
 logger = logging.getLogger("repro.service")
+
+_JOBS = _metrics.counter("repro_jobs_total",
+                         "Service jobs finished, by terminal status")
+_JOB_SECONDS = _metrics.histogram("repro_job_seconds",
+                                  "Wall-clock duration of service jobs")
 
 #: Schema tag of the result bookkeeping stored on a ``done`` job record.
 RESULT_SCHEMA = "repro.service_result/v1"
@@ -93,8 +100,15 @@ def execute_job(job_doc: dict, store_root: str) -> dict:
     }
 
 
-def _child_main(conn, job_doc: dict, store_root: str) -> None:
-    """Child-process entry: run the job, ship the verdict up the pipe."""
+def _child_main(conn, job_doc: dict, store_root: str,
+                trace: Optional[dict] = None) -> None:
+    """Child-process entry: run the job, ship the verdict up the pipe.
+
+    ``trace`` is a :func:`repro.telemetry.handoff` package captured by
+    the supervisor: adopting it re-parents everything this child traces
+    under the supervisor's ``service.job`` span.
+    """
+    telemetry.adopt(trace)
     try:
         result = execute_job(job_doc, store_root)
     except BaseException as exc:  # noqa: BLE001 — envelope *everything*
@@ -119,7 +133,8 @@ def spawn_job_child(job_doc: dict, store_root: str):
     ctx = fork_context()
     parent_conn, child_conn = ctx.Pipe(duplex=False)
     process = ctx.Process(target=_child_main,
-                          args=(child_conn, job_doc, store_root),
+                          args=(child_conn, job_doc, store_root,
+                                telemetry.handoff()),
                           daemon=True)
     process.start()
     child_conn.close()
@@ -277,11 +292,22 @@ class WorkerPool:
                     self.busy -= 1
 
     def _run_job(self, job: dict) -> None:
-        try:
-            verdict, payload = self._run_in_child(job)
-        except WorkerCrash as exc:
-            verdict, payload = "error", {"type": "WorkerCrash",
-                                         "message": str(exc)}
+        start = time.perf_counter()
+        with telemetry.span("service.job", job=job["id"][:12],
+                            name=job["name"]) as tspan:
+            try:
+                verdict, payload = self._run_in_child(job)
+            except WorkerCrash as exc:
+                # The child died without reporting (SIGKILL, OOM,
+                # segfault): the supervisor-side span is the durable
+                # record, flushed with the aborted status.
+                tspan.set_status("aborted")
+                verdict, payload = "error", {"type": "WorkerCrash",
+                                             "message": str(exc)}
+            tspan.set_attr("verdict", verdict)
+        if _metrics.enabled:
+            _JOBS.inc(status="done" if verdict == "ok" else "failed")
+            _JOB_SECONDS.observe(time.perf_counter() - start)
         if verdict == "ok":
             self.queue.complete(job["id"], payload)
             resume = payload.get("store_resume", {})

@@ -52,6 +52,15 @@ from typing import Any, Optional
 
 from repro.records import ENTRY_SCHEMA, StoreEntry
 from repro.serialize import canonical_json, json_safe
+from repro.telemetry import metrics as _metrics
+
+# Process-wide twins of the per-handle hits/misses/writes counters.
+_READS = _metrics.counter("repro_store_reads_total",
+                          "Store entry reads by outcome (hit/miss)")
+_WRITES = _metrics.counter("repro_store_writes_total",
+                           "Store entry writes")
+_PACK_READS = _metrics.counter("repro_store_pack_reads_total",
+                               "Entry reads served from pack files")
 
 #: Schema tag of the store manifest (``store.json`` at the root).
 STORE_SCHEMA = "repro.store/v1"
@@ -377,8 +386,11 @@ class CampaignStore:
             envelope = self._read_packed(key)
             if not self._valid_envelope(envelope, key):
                 self.misses += 1
+                _READS.inc(outcome="miss")
                 return None
             self.hits += 1
+            _READS.inc(outcome="hit")
+            _PACK_READS.inc()
             return envelope
         envelope = self._read_json(path)
         if not self._valid_envelope(envelope, key):
@@ -386,8 +398,10 @@ class CampaignStore:
             # an error.  Remember it so gc can reclaim the file.
             self.corrupt.append(str(path))
             self.misses += 1
+            _READS.inc(outcome="miss")
             return None
         self.hits += 1
+        _READS.inc(outcome="hit")
         return envelope
 
     def get_campaign(self, spec) -> Optional[dict]:
@@ -406,6 +420,7 @@ class CampaignStore:
     def _put(self, key: str, envelope: dict) -> str:
         self._write_json(self._entry_path(key), envelope)
         self.writes += 1
+        _WRITES.inc()
         self.written_keys.append(key)
         return key
 

@@ -84,6 +84,15 @@ from repro.swir.enginespec import (  # noqa: F401  (compat re-exports)
 #: engine's cached generated source.
 ENGINE_REVISION = 1
 
+from repro.telemetry import metrics as _metrics
+
+#: Shared by every engine implementation (labelled by engine name);
+#: incremented once per run() — never from inside the dispatch loop.
+ENGINE_RUNS = _metrics.counter("repro_swir_runs_total",
+                               "SWIR engine run() calls")
+ENGINE_STEPS = _metrics.counter("repro_swir_steps_total",
+                                "SWIR statement steps executed")
+
 #: Jump target returned by RETURN instructions: past the end of any
 #: realistically-sized instruction list, so the dispatch loop exits.
 _HALT = 1 << 30
@@ -227,6 +236,9 @@ class CompiledEngine:
         state = _RunState(self.max_steps, fault)
         env = {name: _wrap(int(value)) for name, value in inputs.items()}
         returned = self._call(state, self._cfuncs[self.program.entry], env)
+        if _metrics.enabled:
+            ENGINE_RUNS.inc(engine="compiled")
+            ENGINE_STEPS.inc(state.steps, engine="compiled")
         return ExecutionResult(
             returned=returned,
             env=env,

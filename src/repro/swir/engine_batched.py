@@ -54,7 +54,14 @@ from repro.swir.ast import (
     Var,
     While,
 )
-from repro.swir.engine import ENGINE_REVISION
+from repro.swir.engine import ENGINE_REVISION, ENGINE_RUNS, ENGINE_STEPS
+from repro.telemetry import metrics as _metrics
+
+#: Where each constructed engine's generated source came from
+#: ("generated" | "memory" | "store") — the JIT cache observability the
+#: ``jit_source_origin`` attribute exposes per instance, aggregated.
+JIT_SOURCE = _metrics.counter("repro_swir_jit_source_total",
+                              "BatchedEngine source resolutions by origin")
 from repro.swir.interp import (
     CoverageData,
     ExecutionResult,
@@ -728,6 +735,8 @@ class BatchedEngine:
         #: "generated" | "memory" (in-process memo) | "store"
         self.jit_source_origin: str = "generated"
         self.jit_source = self._obtain_source(len(atoms))
+        if _metrics.enabled:
+            JIT_SOURCE.inc(origin=self.jit_source_origin)
         runtime = _Runtime(
             max_steps=max_steps,
             cond_keys=[_cond_key(expr) for expr in atoms],
@@ -819,6 +828,9 @@ class BatchedEngine:
         env = self._prepare_env(inputs)
         state = _BatchState(fault)
         returned = self._entry(state, env)
+        if _metrics.enabled:
+            ENGINE_RUNS.inc(engine="batched")
+            ENGINE_STEPS.inc(state.steps, engine="batched")
         return ExecutionResult(
             returned=returned,
             env=env,

@@ -41,6 +41,15 @@ from repro.swir.ast import (
     While,
 )
 
+from repro.telemetry import metrics as _metrics
+
+# The same instruments every engine shares (the registry dedups by
+# name); bound here directly because engine.py imports this module.
+_RUNS = _metrics.counter("repro_swir_runs_total",
+                         "SWIR engine run() calls")
+_STEPS = _metrics.counter("repro_swir_steps_total",
+                          "SWIR statement steps executed")
+
 #: Two's-complement width used to contain C-like arithmetic.
 WORD_BITS = 32
 _WORD_MASK = (1 << WORD_BITS) - 1
@@ -160,6 +169,9 @@ class Interpreter:
         state = _RunState(self, fault)
         env = {name: _wrap(int(value)) for name, value in inputs.items()}
         returned = state.call_function(main, env)
+        if _metrics.enabled:
+            _RUNS.inc(engine="ast")
+            _STEPS.inc(state.steps, engine="ast")
         return ExecutionResult(
             returned=returned,
             env=env,

@@ -45,6 +45,20 @@ import heapq
 from dataclasses import dataclass
 from typing import Iterable, Optional
 
+from repro.telemetry import metrics as _metrics
+
+# Published once per solve() call, from its finally — the same place
+# the per-call stats fold into the lifetime counters.
+_SOLVES = _metrics.counter("repro_sat_solves_total", "SAT solve() calls")
+_DECISIONS = _metrics.counter("repro_sat_decisions_total",
+                              "SAT branching decisions")
+_PROPAGATIONS = _metrics.counter("repro_sat_propagations_total",
+                                 "SAT unit propagations")
+_CONFLICTS = _metrics.counter("repro_sat_conflicts_total", "SAT conflicts")
+_LEARNED = _metrics.counter("repro_sat_learned_total",
+                            "SAT learned clauses")
+_RESTARTS = _metrics.counter("repro_sat_restarts_total", "SAT restarts")
+
 
 class SatResult(enum.Enum):
     SAT = "sat"
@@ -410,6 +424,14 @@ class SatSolver:
             return self._search(assumed, budget)
         finally:
             self.cumulative.accumulate(self.stats)
+            if _metrics.enabled:
+                stats = self.stats
+                _SOLVES.inc()
+                _DECISIONS.inc(stats.decisions)
+                _PROPAGATIONS.inc(stats.propagations)
+                _CONFLICTS.inc(stats.conflicts)
+                _LEARNED.inc(stats.learned)
+                _RESTARTS.inc(stats.restarts)
 
     def _search(self, assumptions: list[int], budget: int) -> SatResult:
         if self._has_empty or self._unsat:

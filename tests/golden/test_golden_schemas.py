@@ -78,6 +78,17 @@ def documents(tmp_path_factory):
     ledger = Ledger.from_store(store, queue=queue, fleet=fleet)
     export_bundle(store, SPEC.to_dict(), root / "bundle")
     manifest = json.loads((root / "bundle" / "manifest.json").read_text())
+    from repro import telemetry
+
+    spans_dir = telemetry.spans_dir_for(root / "store")
+    telemetry.configure(spans_dir=spans_dir)
+    try:
+        with telemetry.span("golden.stage", stage="golden",
+                            passed=True) as tspan:
+            tspan.set_attr("coverage", 1.0)
+    finally:
+        telemetry.disable()
+    span_record = telemetry.read_spans(spans_dir)[0]
     return {
         "campaign_spec": SPEC.to_dict(),
         "level1": report["levels"]["level1"],
@@ -91,12 +102,14 @@ def documents(tmp_path_factory):
         "job_record": queue.get(job["id"]),
         "ledger": ledger.to_dict(),
         "export_manifest": manifest,
+        "span": span_record,
     }
 
 
 KINDS = ["campaign_spec", "level1", "level2", "level3", "level4",
          "flow_report", "campaign_outcome", "campaign_sweep",
-         "store_entry", "job_record", "ledger", "export_manifest"]
+         "store_entry", "job_record", "ledger", "export_manifest",
+         "span"]
 
 
 @pytest.mark.parametrize("kind", KINDS)

@@ -142,10 +142,10 @@ class TestDeterminismAndRoundTrip:
     def test_to_dict_from_dict_round_trip(self, store):
         fill(store)
         document = Ledger.from_store(store).to_dict()
-        assert document["schema"] == "repro.ledger/v1"
+        assert document["schema"] == "repro.ledger/v2"
         assert document["fact_schemas"] == FACT_SCHEMAS
         assert Ledger.from_dict(document).to_dict() == document
-        with pytest.raises(ValueError, match="repro.ledger/v1"):
+        with pytest.raises(ValueError, match="repro.ledger/v2"):
             Ledger.from_dict({"schema": "repro.nope/v1"})
 
     def test_packed_store_extracts_identical_facts(self, store, tmp_path):

@@ -122,6 +122,47 @@ class TestJoin:
             ledger.query("entry").join("journal_touched").rows()
 
 
+class TestOrderBy:
+    def test_builder_orders_ascending_by_default(self, ledger):
+        rows = ledger.query("spec").order_by("frames").rows()
+        assert [r["frames"] for r in rows] == [1, 2]
+
+    def test_builder_desc(self, ledger):
+        rows = ledger.query("spec").order_by("frames", desc=True).rows()
+        assert [r["frames"] for r in rows] == [2, 1]
+
+    def test_textual_order_by(self, ledger):
+        rows = ledger.run("entry order by engine_rev desc")
+        assert [r["key"] for r in rows][:2] == ["k2", "k1"]
+        assert ledger.run("entry order by engine_rev asc") == \
+            ledger.run("entry order by engine_rev")
+
+    def test_order_by_composes_with_where(self, ledger):
+        rows = ledger.run("entry where status == 'ok' "
+                          "order by engine_rev desc")
+        assert [r["key"] for r in rows] == ["k2", "k1"]
+
+    def test_heterogeneous_values_never_crash_the_sort(self, ledger):
+        # k3 has engine_rev None next to ints: a total order, no
+        # TypeError.
+        rows = ledger.run("entry order by engine_rev")
+        assert len(rows) == 3 and rows[0]["key"] == "k3"
+
+    def test_missing_field_sorts_stably(self, ledger):
+        rows = ledger.run("entry order by nonesuch")
+        assert len(rows) == 3
+
+    @pytest.mark.parametrize("bad", [
+        "entry order",
+        "entry order by",
+        "entry order by ==",
+        "entry order by engine_rev sideways",
+    ])
+    def test_malformed_order_by_raises(self, ledger, bad):
+        with pytest.raises(QueryError):
+            parse_query(ledger, bad).rows()
+
+
 class TestTextual:
     def test_roadmap_exemplar_engine_rev(self, ledger):
         rows = ledger.run("entry where engine_rev < 2 and status == 'ok'")

@@ -96,6 +96,55 @@ class TestRoutes:
         assert "blockcipher" in stats["workloads"]
         assert stats["workloads"]["blockcipher"]["revision"] == 1
 
+    def test_healthz_v2_reports_uptime_and_leases(self, service, client):
+        health = client.healthz()
+        assert health["schema"] == "repro.service_health/v2"
+        assert health["uptime_seconds"] >= 0.0
+        assert health["active_leases"] == 0
+
+    def test_metrics_route_serves_prometheus_text(self, service, client):
+        import re
+
+        job = client.submit(FAST.to_dict())
+        client.wait(job["id"], timeout=120)
+        text = client.metrics()
+        assert "# TYPE repro_jobs_total counter" in text
+        assert "# TYPE repro_job_seconds histogram" in text
+        # The registry is process-wide (it survives across daemons in
+        # one test process), so assert the scrape shape and that this
+        # job was counted, not an absolute total.
+        match = re.search(r'^repro_jobs_total\{status="done"\} (\d+)$',
+                          text, re.M)
+        assert match and int(match.group(1)) >= 1
+        assert re.search(r"^repro_job_seconds_bucket\{le=\"\+Inf\"\} \d+$",
+                         text, re.M)
+        assert re.search(r'^repro_queue_submitted_total\{coalesced="false"'
+                         r"\} \d+$", text, re.M)
+
+    def test_stats_carries_the_metrics_snapshot(self, service, client):
+        job = client.submit(FAST.to_dict())
+        client.wait(job["id"], timeout=120)
+        stats = client.stats()
+        snapshot = stats["metrics"]
+        assert snapshot['repro_jobs_total{status="done"}'] >= 1
+        # The CLI stats table renders the snapshot as its own section.
+        from repro.cli import _stats_table
+
+        table = _stats_table(stats)
+        assert "metrics" in table and "repro_jobs_total" in table
+
+    def test_wait_records_poll_bookkeeping(self, service, client):
+        from repro.serialize import canonical_document
+
+        job = client.submit(FAST.to_dict())
+        done = client.wait(job["id"], timeout=120)
+        assert done["wait_polls"] >= 2
+        assert done["wait_seconds"] >= 0.0
+        # Volatile by contract: the bookkeeping never enters equality.
+        canonical = canonical_document(done)
+        assert "wait_polls" not in canonical
+        assert "wait_seconds" not in canonical
+
     def test_unknown_routes_and_job_404(self, service, client):
         with pytest.raises(ServiceError) as excinfo:
             client.get("feedbeef" * 8)
@@ -236,7 +285,7 @@ class TestQueryRoute:
         assert document["facts"]["entry"] == 0
         assert set(document["facts"]) == {
             "entry", "spec", "produced_by", "journal_touched", "job",
-            "lease", "runner"}
+            "lease", "runner", "span"}
 
     def test_query_sees_store_entries_after_a_run(self, service, client):
         job = client.submit(FAST.to_dict())

@@ -1,0 +1,183 @@
+"""The tracer: span hierarchy, JSONL sinks, cross-process hand-off."""
+
+import json
+
+import pytest
+
+from repro.telemetry import trace as trace_mod
+from repro.telemetry.trace import (
+    SPAN_SCHEMA,
+    Tracer,
+    read_spans,
+    spans_dir_for,
+)
+
+
+@pytest.fixture
+def tracer(tmp_path):
+    """A fresh enabled tracer writing under ``tmp_path``."""
+    instance = Tracer()
+    instance.configure(tmp_path)
+    yield instance
+    instance.disable()
+
+
+class TestDisabled:
+    def test_span_is_a_shared_noop(self):
+        tracer = Tracer()
+        first = tracer.span("a", key="value")
+        second = tracer.span("b")
+        assert first is second
+        with first as span:
+            span.set_attr("x", 1)
+            span.set_status("error")
+        assert span.context() is None
+        assert tracer.current() is None
+
+    def test_module_handoff_is_none_when_disabled(self):
+        assert not trace_mod.tracer.enabled
+        assert trace_mod.handoff() is None
+        # Adopting nothing must be a no-op, not an error.
+        trace_mod.adopt(None)
+        trace_mod.adopt({})
+
+
+class TestHierarchy:
+    def test_nested_spans_share_a_trace_and_parent(self, tracer, tmp_path):
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.trace_id == outer.trace_id
+                assert inner.parent_id == outer.span_id
+                assert tracer.current() is inner
+            assert tracer.current() is outer
+        records = {r["name"]: r for r in read_spans(tmp_path)}
+        assert records["inner"]["parent_id"] == records["outer"]["span_id"]
+        assert records["outer"]["parent_id"] is None
+        assert records["inner"]["schema"] == SPAN_SCHEMA
+
+    def test_sibling_roots_get_distinct_traces(self, tracer):
+        with tracer.span("a") as a:
+            pass
+        with tracer.span("b") as b:
+            pass
+        assert a.trace_id != b.trace_id
+
+    def test_exception_marks_error_status(self, tracer, tmp_path):
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        (record,) = read_spans(tmp_path)
+        assert record["status"] == "error"
+        assert record["duration_ms"] >= 0.0
+
+    def test_explicit_status_survives_exception(self, tracer, tmp_path):
+        with pytest.raises(RuntimeError):
+            with tracer.span("aborted-work") as span:
+                span.set_status("aborted")
+                raise RuntimeError("killed")
+        (record,) = read_spans(tmp_path)
+        assert record["status"] == "aborted"
+
+    def test_unknown_status_rejected(self, tracer):
+        with tracer.span("s") as span:
+            with pytest.raises(ValueError, match="unknown span status"):
+                span.set_status("exploded")
+
+    def test_attrs_clamp_to_json_scalars(self, tracer, tmp_path):
+        with tracer.span("s", n=3, ratio=0.5, ok=True, none=None,
+                         rich=(1, 2)) as span:
+            span.set_attr("late", {"a": 1})
+        (record,) = read_spans(tmp_path)
+        assert record["attrs"]["n"] == 3
+        assert record["attrs"]["ok"] is True
+        assert record["attrs"]["none"] is None
+        assert record["attrs"]["rich"] == "(1, 2)"
+        assert record["attrs"]["late"] == "{'a': 1}"
+
+    def test_name_is_usable_as_an_attribute(self, tracer, tmp_path):
+        # The span name is positional-only exactly so call sites can
+        # attach a ``name=`` attribute (job names, module names).
+        with tracer.span("job", name="my-job"):
+            pass
+        (record,) = read_spans(tmp_path)
+        assert record["name"] == "job"
+        assert record["attrs"]["name"] == "my-job"
+
+
+class TestSink:
+    def test_records_flush_per_span_end(self, tracer, tmp_path):
+        with tracer.span("first"):
+            pass
+        assert [r["name"] for r in read_spans(tmp_path)] == ["first"]
+        with tracer.span("second"):
+            pass
+        assert len(read_spans(tmp_path)) == 2
+
+    def test_reader_skips_torn_and_foreign_lines(self, tracer, tmp_path):
+        with tracer.span("good"):
+            pass
+        sink = next(tmp_path.glob("*.jsonl"))
+        with open(sink, "a", encoding="utf-8") as stream:
+            stream.write('{"schema": "not.a.span/v1"}\n')
+            stream.write('{"schema": "repro.span/v1", "name": "torn')
+        records = read_spans(tmp_path)
+        assert [r["name"] for r in records] == ["good"]
+
+    def test_missing_directory_reads_empty(self, tmp_path):
+        assert read_spans(tmp_path / "nowhere") == []
+
+    def test_spans_dir_convention(self, tmp_path):
+        assert spans_dir_for(tmp_path) == tmp_path / "spans"
+
+    def test_end_is_idempotent(self, tracer, tmp_path):
+        span = tracer.span("once")
+        with span:
+            pass
+        span.end()
+        span.end(error=True)
+        records = read_spans(tmp_path)
+        assert len(records) == 1 and records[0]["status"] == "ok"
+
+
+class TestHandoffAdopt:
+    def test_attach_reparents_new_roots(self, tracer, tmp_path):
+        with tracer.span("submitting") as parent:
+            context = parent.context()
+        child_tracer = Tracer()
+        child_tracer.configure(tmp_path)
+        try:
+            child_tracer.attach(context)
+            with child_tracer.span("adopted"):
+                pass
+        finally:
+            child_tracer.disable()
+        records = {r["name"]: r for r in read_spans(tmp_path)}
+        assert records["adopted"]["trace_id"] == \
+            records["submitting"]["trace_id"]
+        assert records["adopted"]["parent_id"] == \
+            records["submitting"]["span_id"]
+
+    def test_module_handoff_roundtrip(self, tmp_path):
+        trace_mod.tracer.configure(tmp_path)
+        try:
+            with trace_mod.span("parent"):
+                package = trace_mod.handoff()
+            assert package["dir"] == str(tmp_path)
+            assert set(package["ctx"]) == {"trace_id", "span_id"}
+            assert json.loads(json.dumps(package)) == package
+        finally:
+            trace_mod.tracer.disable()
+
+    def test_decorator_traces_the_call(self, tmp_path):
+        trace_mod.tracer.configure(tmp_path)
+        try:
+            @trace_mod.traced("math.double", flavor="test")
+            def double(x):
+                return 2 * x
+
+            assert double(21) == 42
+        finally:
+            trace_mod.tracer.disable()
+        (record,) = read_spans(tmp_path)
+        assert record["name"] == "math.double"
+        assert record["attrs"]["flavor"] == "test"
